@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the hot paths the paper's
+// complexity analysis talks about: cbd/cmd enumeration throughput (the
+// claimed linear amortized cost per operator), the Theta(|V_Q|)
+// local-query check, cardinality estimation, and the executor's hash
+// join. Run any binary with --benchmark_filter=... as usual.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "exec/binding_table.h"
+#include "optimizer/cbd_enumerator.h"
+#include "optimizer/cmd_enumerator.h"
+#include "partition/hash_so.h"
+#include "partition/local_query_index.h"
+#include "query/query_graph.h"
+#include "stats/estimator.h"
+#include "workload/random_query.h"
+
+namespace parqo {
+namespace {
+
+GeneratedQuery MakeQuery(QueryShape shape, int n) {
+  Rng rng(1234 + n);
+  return GenerateRandomQuery(shape, n, rng);
+}
+
+void BM_CbdEnumeration(benchmark::State& state, QueryShape shape) {
+  GeneratedQuery q = MakeQuery(shape, static_cast<int>(state.range(0)));
+  JoinGraph jg(q.patterns);
+  std::uint64_t emitted = 0;
+  for (auto _ : state) {
+    for (VarId vj : jg.join_vars()) {
+      if (jg.Ntp(vj).Count() < 2) continue;
+      EnumerateCbds(jg, jg.AllTps(), vj, [&](TpSet a, TpSet b) {
+        benchmark::DoNotOptimize(a);
+        benchmark::DoNotOptimize(b);
+        ++emitted;
+        return true;
+      });
+    }
+  }
+  state.counters["cbds/s"] = benchmark::Counter(
+      static_cast<double>(emitted), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_CbdEnumeration, chain, QueryShape::kChain)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(30);
+BENCHMARK_CAPTURE(BM_CbdEnumeration, star, QueryShape::kStar)
+    ->Arg(8)
+    ->Arg(12);
+BENCHMARK_CAPTURE(BM_CbdEnumeration, dense, QueryShape::kDense)
+    ->Arg(8)
+    ->Arg(12);
+
+void BM_CmdEnumeration(benchmark::State& state, QueryShape shape,
+                       CmdMode mode) {
+  GeneratedQuery q = MakeQuery(shape, static_cast<int>(state.range(0)));
+  JoinGraph jg(q.patterns);
+  std::uint64_t emitted = 0;
+  for (auto _ : state) {
+    EnumerateCmds(jg, jg.AllTps(), mode,
+                  [&](std::span<const TpSet> parts, VarId vj) {
+                    benchmark::DoNotOptimize(parts);
+                    benchmark::DoNotOptimize(vj);
+                    ++emitted;
+                    return true;
+                  });
+  }
+  state.counters["cmds/s"] = benchmark::Counter(
+      static_cast<double>(emitted), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_CmdEnumeration, chain_all, QueryShape::kChain,
+                  CmdMode::kAll)
+    ->Arg(16)
+    ->Arg(30);
+BENCHMARK_CAPTURE(BM_CmdEnumeration, star_all, QueryShape::kStar,
+                  CmdMode::kAll)
+    ->Arg(8)
+    ->Arg(12);
+BENCHMARK_CAPTURE(BM_CmdEnumeration, star_pruned, QueryShape::kStar,
+                  CmdMode::kCcmdAndBinary)
+    ->Arg(8)
+    ->Arg(12);
+BENCHMARK_CAPTURE(BM_CmdEnumeration, dense_all, QueryShape::kDense,
+                  CmdMode::kAll)
+    ->Arg(8)
+    ->Arg(10);
+
+void BM_LocalQueryCheck(benchmark::State& state) {
+  GeneratedQuery q =
+      MakeQuery(QueryShape::kDense, static_cast<int>(state.range(0)));
+  JoinGraph jg(q.patterns);
+  QueryGraph qg(jg);
+  HashSoPartitioner hash;
+  LocalQueryIndex index(qg, hash);
+  Rng rng(7);
+  std::vector<TpSet> probes;
+  for (int i = 0; i < 64; ++i) {
+    probes.push_back(
+        TpSet(rng.Next() & jg.AllTps().bits()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.IsLocal(probes[i++ & 63]));
+  }
+}
+BENCHMARK(BM_LocalQueryCheck)->Arg(8)->Arg(16)->Arg(30);
+
+void BM_CardinalityEstimation(benchmark::State& state) {
+  GeneratedQuery q =
+      MakeQuery(QueryShape::kTree, static_cast<int>(state.range(0)));
+  JoinGraph jg(q.patterns);
+  for (auto _ : state) {
+    // Fresh estimator per iteration: measures the memoized derivation of
+    // all prefixes, not a hash lookup.
+    CardinalityEstimator est(jg, q.MakeStats(jg));
+    benchmark::DoNotOptimize(est.Cardinality(jg.AllTps()));
+  }
+}
+BENCHMARK(BM_CardinalityEstimation)->Arg(8)->Arg(16)->Arg(30);
+
+void BM_BindingTableDeduplicate(benchmark::State& state) {
+  Rng rng(9);
+  BindingTable base({0, 1, 2});
+  for (int i = 0; i < state.range(0); ++i) {
+    std::vector<TermId> row{
+        static_cast<TermId>(rng.Uniform(1, 64)),
+        static_cast<TermId>(rng.Uniform(1, 64)),
+        static_cast<TermId>(rng.Uniform(1, 1024))};
+    base.AppendRow(row);
+  }
+  for (auto _ : state) {
+    BindingTable copy = base;
+    copy.Deduplicate();
+    benchmark::DoNotOptimize(copy.NumRows());
+  }
+}
+BENCHMARK(BM_BindingTableDeduplicate)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace parqo
+
+BENCHMARK_MAIN();

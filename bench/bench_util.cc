@@ -1,0 +1,121 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace parqo::bench {
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&](std::string_view name) -> const char* {
+      if (!StartsWith(arg, name) || arg.size() <= name.size() ||
+          arg[name.size()] != '=') {
+        return nullptr;
+      }
+      return argv[i] + name.size() + 1;
+    };
+    if (const char* v = value("--timeout")) {
+      flags.timeout = std::atof(v);
+    } else if (const char* v = value("--nodes")) {
+      flags.nodes = std::atoi(v);
+    } else if (const char* v = value("--lubm-universities")) {
+      flags.lubm_universities = std::atoi(v);
+    } else if (const char* v = value("--uniprot-proteins")) {
+      flags.uniprot_proteins = std::atoi(v);
+    } else if (const char* v = value("--watdiv-instances")) {
+      flags.watdiv_instances = std::atoi(v);
+    } else if (const char* v = value("--repeats")) {
+      flags.repeats = std::atoi(v);
+    } else if (const char* v = value("--seed")) {
+      flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--quick") {
+      flags.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\n"
+                   "flags: --timeout=S --nodes=N --lubm-universities=N "
+                   "--uniprot-proteins=N --watdiv-instances=N --repeats=N "
+                   "--seed=N --quick\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  if (flags.quick) {
+    flags.timeout = std::min(flags.timeout, 5.0);
+    flags.lubm_universities = std::min(flags.lubm_universities, 2);
+    flags.uniprot_proteins = std::min(flags.uniprot_proteins, 500);
+    flags.watdiv_instances = std::min(flags.watdiv_instances, 3);
+    flags.repeats = 1;
+  }
+  return flags;
+}
+
+std::string TimeCell(const OptimizeResult& result, const Flags& flags) {
+  if (result.timed_out) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ">%.0fs", flags.timeout);
+    return buf;
+  }
+  return FormatSeconds(result.seconds);
+}
+
+std::string CountCell(const OptimizeResult& result) {
+  if (result.timed_out) return "N/A";
+  return WithThousandsSep(result.enumerated);
+}
+
+std::string CostCell(const OptimizeResult& result) {
+  if (result.plan == nullptr) return "N/A";
+  return FormatCostE(result.plan->total_cost);
+}
+
+OptimizeResult Run(Algorithm algorithm, const PreparedQuery& query,
+                   const Flags& flags) {
+  OptimizeOptions options;
+  options.timeout_seconds = flags.timeout;
+  options.cost_params.num_nodes = flags.nodes;
+  return Optimize(algorithm, query.inputs(), options);
+}
+
+std::unique_ptr<PreparedQuery> Prepare(const GeneratedQuery& query,
+                                       const Partitioner& partitioner) {
+  return std::make_unique<PreparedQuery>(
+      query.patterns, partitioner,
+      [&query](const JoinGraph& jg) { return query.MakeStats(jg); });
+}
+
+NoLocalityFixture::NoLocalityFixture(const GeneratedQuery& query)
+    : jg_(query.patterns),
+      index_(LocalQueryIndex::None(jg_.num_tps())),
+      estimator_(jg_, query.MakeStats(jg_)) {}
+
+OptimizerInputs NoLocalityFixture::inputs() const {
+  OptimizerInputs in;
+  in.join_graph = &jg_;
+  in.local_index = &index_;
+  in.estimator = &estimator_;
+  return in;
+}
+
+void PrintRow(const std::string& label,
+              const std::vector<std::string>& cells, int label_width,
+              int cell_width) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const std::string& cell : cells) {
+    std::printf(" %*s", cell_width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRule(int label_width, int cells, int cell_width) {
+  int total = label_width + cells * (cell_width + 1);
+  for (int i = 0; i < total; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace parqo::bench

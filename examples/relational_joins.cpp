@@ -1,0 +1,132 @@
+// Relational join ordering with the same enumerator — Section I of the
+// paper: "Our optimization algorithms are generic enough to be applied to
+// relational query optimization."
+//
+// A TPC-H-like 8-table join (every table has at most three join
+// attributes, so each maps onto one "pattern" whose variables are its
+// join keys) is optimized with exhaustive k-ary TD-CMD and with the
+// binary-only space; the k-ary plan exploits multi-way repartition joins
+// on shared keys exactly as it would for RDF triple patterns.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "optimizer/optimizer.h"
+#include "partition/local_query_index.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+#include "query/query_graph.h"
+#include "query/shape.h"
+#include "stats/estimator.h"
+
+namespace {
+
+using namespace parqo;
+
+// One relation = one pattern; its up-to-three join attributes become the
+// pattern's variables (padded with unique placeholders when fewer).
+struct Relation {
+  std::string name;
+  std::vector<std::string> join_attrs;  // 1..3
+  double rows;
+  std::vector<double> distinct;  // per attr
+};
+
+TriplePattern ToPattern(const Relation& r, int index) {
+  auto var = [&](std::size_t i) {
+    if (i < r.join_attrs.size()) return PatternTerm::Var(r.join_attrs[i]);
+    return PatternTerm::Var("_pad" + std::to_string(index) + "_" +
+                            std::to_string(i));
+  };
+  TriplePattern tp;
+  tp.s = var(0);
+  tp.p = var(1);
+  tp.o = var(2);
+  return tp;
+}
+
+}  // namespace
+
+int main() {
+  // TPC-H-flavored join graph at scale factor ~1 (rounded cardinalities):
+  // lineitem(orderkey, partkey, suppkey), orders(orderkey, custkey),
+  // customer(custkey, c_nationkey), partsupp(partkey, suppkey),
+  // part(partkey), supplier(suppkey, s_nationkey),
+  // nation(c_nationkey ~ s_nationkey simplification: two nation roles).
+  std::vector<Relation> relations{
+      {"lineitem", {"orderkey", "partkey", "suppkey"}, 6'000'000,
+       {1'500'000, 200'000, 10'000}},
+      {"orders", {"orderkey", "custkey"}, 1'500'000, {1'500'000, 150'000}},
+      {"customer", {"custkey", "nationkey"}, 150'000, {150'000, 25}},
+      {"partsupp", {"partkey", "suppkey"}, 800'000, {200'000, 10'000}},
+      {"part", {"partkey"}, 200'000, {200'000}},
+      {"supplier", {"suppkey", "nationkey"}, 10'000, {10'000, 25}},
+      {"nation", {"nationkey", "regionkey"}, 25, {25, 5}},
+      {"region", {"regionkey"}, 5, {5}},
+  };
+
+  std::vector<TriplePattern> patterns;
+  for (std::size_t i = 0; i < relations.size(); ++i) {
+    patterns.push_back(ToPattern(relations[i], static_cast<int>(i)));
+  }
+  JoinGraph jg(patterns);
+  QueryGraph qg(jg);
+
+  QueryStatistics stats(jg);
+  for (std::size_t i = 0; i < relations.size(); ++i) {
+    stats.SetCardinality(static_cast<int>(i), relations[i].rows);
+    for (std::size_t a = 0; a < relations[i].join_attrs.size(); ++a) {
+      VarId v = jg.FindVar(relations[i].join_attrs[a]);
+      stats.SetBindings(static_cast<int>(i), v, relations[i].distinct[a]);
+    }
+  }
+  CardinalityEstimator estimator(jg, std::move(stats));
+  // Relational tables are not co-partitioned: no local joins.
+  LocalQueryIndex none = LocalQueryIndex::None(jg.num_tps());
+
+  OptimizerInputs inputs;
+  inputs.join_graph = &jg;
+  inputs.query_graph = &qg;
+  inputs.local_index = &none;
+  inputs.estimator = &estimator;
+
+  std::printf("8-way relational join; join graph: %d relations, %d join "
+              "attributes, shape %s\n\n",
+              jg.num_tps(), jg.num_join_vars(),
+              ToString(ClassifyShape(jg)).c_str());
+
+  OptimizeOptions options;
+  for (Algorithm algorithm :
+       {Algorithm::kTdCmd, Algorithm::kBinaryDp, Algorithm::kTdCmdp}) {
+    OptimizeResult r = Optimize(algorithm, inputs, options);
+    if (r.plan == nullptr) {
+      std::printf("%s: timed out\n", ToString(algorithm).c_str());
+      continue;
+    }
+    std::printf("=== %s: cost %s, %s operators enumerated, %.4fs ===\n",
+                ToString(algorithm).c_str(),
+                FormatCostE(r.plan->total_cost).c_str(),
+                WithThousandsSep(r.enumerated).c_str(), r.seconds);
+    // Print with relation names instead of tp indexes.
+    std::string compact = PlanToCompactString(*r.plan);
+    for (int i = static_cast<int>(relations.size()) - 1; i >= 0; --i) {
+      std::string needle = "tp" + std::to_string(i);
+      std::size_t pos = 0;
+      while ((pos = compact.find(needle, pos)) != std::string::npos) {
+        compact.replace(pos, needle.size(), relations[i].name);
+        pos += relations[i].name.size();
+      }
+    }
+    std::printf("%s\n\n", compact.c_str());
+  }
+  std::printf(
+      "(TD-CMD searches k-ary divisions on every shared key; Binary-DP "
+      "is restricted to two-input operators. On this snowflake schema "
+      "the optimum happens to be binary - broadcast cascades into the "
+      "dominant lineitem table; with balanced inputs the multi-way "
+      "repartition plans take over, as bench_ablation's k-ary study "
+      "shows.)\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/bin/bash
+# Full bench sweep with default flags; per-binary wall cap as a safety net.
+set -u
+out=/root/repo/bench_output.txt
+: > "$out"
+for b in /root/repo/build/bench/bench_table4 /root/repo/build/bench/bench_table5 \
+         /root/repo/build/bench/bench_table6 /root/repo/build/bench/bench_table7 \
+         /root/repo/build/bench/bench_fig6 /root/repo/build/bench/bench_fig7 \
+         /root/repo/build/bench/bench_fig8 /root/repo/build/bench/bench_ablation; do
+  echo "############ $(basename $b) ############" >> "$out"
+  timeout 2400 "$b" >> "$out" 2>&1
+  echo "(exit: $?)" >> "$out"
+  echo >> "$out"
+done
+echo "############ bench_micro ############" >> "$out"
+timeout 900 /root/repo/build/bench/bench_micro --benchmark_min_time=0.2 >> "$out" 2>&1
+echo "(exit: $?)" >> "$out"
+echo ALL-DONE >> "$out"

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. All experiment outputs must be reproducible from a seed,
+// so generators take an explicit Rng rather than using global state.
+
+#ifndef PARQO_COMMON_RNG_H_
+#define PARQO_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace parqo {
+
+/// SplitMix64: tiny, fast, and passes BigCrush for this usage; good enough
+/// for workload synthesis (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-like skewed pick in [0, n): smaller indexes are more likely.
+  /// Used to give generated datasets realistic value-frequency skew.
+  std::int64_t Skewed(std::int64_t n) {
+    double u = UniformDouble();
+    return static_cast<std::int64_t>(u * u * static_cast<double>(n));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_COMMON_RNG_H_

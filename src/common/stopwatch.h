@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by the optimization-time experiments
+// (Table IV, Figures 6a and 7) and by optimizer timeouts.
+
+#ifndef PARQO_COMMON_STOPWATCH_H_
+#define PARQO_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace parqo {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_COMMON_STOPWATCH_H_

@@ -1,0 +1,77 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace parqo {
+
+std::string_view StripWhitespace(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  std::size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string WithThousandsSep(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int until_sep = static_cast<int>(digits.size() % 3);
+  if (until_sep == 0) until_sep = 3;
+  for (char c : digits) {
+    if (until_sep == 0) {
+      out += ',';
+      until_sep = 3;
+    }
+    out += c;
+    --until_sep;
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.4fs", seconds);
+  } else if (seconds < 100) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+  }
+  return buf;
+}
+
+std::string FormatCostE(double cost) {
+  if (cost <= 0) return "0";
+  int exp = static_cast<int>(std::floor(std::log10(cost)));
+  double mant = cost / std::pow(10.0, exp);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fE%d", mant, exp);
+  return buf;
+}
+
+}  // namespace parqo

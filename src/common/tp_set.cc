@@ -1,0 +1,19 @@
+#include "common/tp_set.h"
+
+#include <string>
+
+namespace parqo {
+
+std::string TpSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i : *this) {
+    if (!first) out += ", ";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace parqo

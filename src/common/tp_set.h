@@ -1,0 +1,125 @@
+// Fixed-capacity bitset over the triple patterns (or macro-relations) of a
+// query. This is the subquery encoding described in Section III-B of the
+// paper: "a query or a subquery is encoded into a bitset. Each bit indicates
+// if a triple pattern is contained in a subquery."
+//
+// All enumeration algorithms (Algorithms 1-3), the local-query check and the
+// memo table key on this type, so it is deliberately a trivially copyable
+// 8-byte value with branch-free set algebra.
+
+#ifndef PARQO_COMMON_TP_SET_H_
+#define PARQO_COMMON_TP_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace parqo {
+
+/// A set of triple-pattern indexes, capacity 64 (the paper's largest query
+/// has 30 triple patterns; SPARQL BGPs beyond 64 patterns are out of scope).
+class TpSet {
+ public:
+  static constexpr int kMaxSize = 64;
+
+  constexpr TpSet() = default;
+  constexpr explicit TpSet(std::uint64_t bits) : bits_(bits) {}
+
+  /// The set {0, 1, ..., n-1}; `n` must be in [0, 64].
+  static constexpr TpSet FullSet(int n) {
+    return TpSet(n >= kMaxSize ? ~std::uint64_t{0}
+                               : ((std::uint64_t{1} << n) - 1));
+  }
+
+  /// The singleton set {i}.
+  static constexpr TpSet Singleton(int i) { return TpSet(std::uint64_t{1} << i); }
+
+  constexpr bool Contains(int i) const { return (bits_ >> i) & 1u; }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr int Count() const { return std::popcount(bits_); }
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  constexpr void Add(int i) { bits_ |= std::uint64_t{1} << i; }
+  constexpr void Remove(int i) { bits_ &= ~(std::uint64_t{1} << i); }
+
+  /// Index of the lowest set bit; undefined on the empty set.
+  constexpr int First() const { return std::countr_zero(bits_); }
+
+  /// Removes and returns the lowest set bit index; undefined on empty.
+  constexpr int PopFirst() {
+    int i = First();
+    bits_ &= bits_ - 1;
+    return i;
+  }
+
+  constexpr bool IsSubsetOf(TpSet other) const {
+    return (bits_ & other.bits_) == bits_;
+  }
+  constexpr bool Intersects(TpSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  friend constexpr TpSet operator|(TpSet a, TpSet b) {
+    return TpSet(a.bits_ | b.bits_);
+  }
+  friend constexpr TpSet operator&(TpSet a, TpSet b) {
+    return TpSet(a.bits_ & b.bits_);
+  }
+  /// Set difference a \ b.
+  friend constexpr TpSet operator-(TpSet a, TpSet b) {
+    return TpSet(a.bits_ & ~b.bits_);
+  }
+  constexpr TpSet& operator|=(TpSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr TpSet& operator&=(TpSet o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  constexpr TpSet& operator-=(TpSet o) {
+    bits_ &= ~o.bits_;
+    return *this;
+  }
+  friend constexpr bool operator==(TpSet a, TpSet b) = default;
+
+  /// Iterates set members in increasing index order.
+  class Iterator {
+   public:
+    constexpr explicit Iterator(std::uint64_t bits) : bits_(bits) {}
+    constexpr int operator*() const { return std::countr_zero(bits_); }
+    constexpr Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    friend constexpr bool operator==(Iterator a, Iterator b) = default;
+
+   private:
+    std::uint64_t bits_;
+  };
+  constexpr Iterator begin() const { return Iterator(bits_); }
+  constexpr Iterator end() const { return Iterator(0); }
+
+  /// Renders as "{0, 3, 5}" for logs and test failure messages.
+  std::string ToString() const;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+struct TpSetHash {
+  std::size_t operator()(TpSet s) const noexcept {
+    // SplitMix64 finalizer: cheap and well distributed for bitset keys.
+    std::uint64_t x = s.bits();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_COMMON_TP_SET_H_

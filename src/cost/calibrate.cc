@@ -1,0 +1,128 @@
+#include "cost/calibrate.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace parqo {
+namespace {
+
+// Solves the k x k normal-equation system A x = b by Gaussian elimination
+// with partial pivoting; returns false when (numerically) singular.
+template <int K>
+bool Solve(std::array<std::array<double, K>, K> a, std::array<double, K> b,
+           std::array<double, K>* x) {
+  for (int col = 0; col < K; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < K; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int r = 0; r < K; ++r) {
+      if (r == col) continue;
+      double f = a[r][col] / a[col][col];
+      for (int c = col; c < K; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (int i = 0; i < K; ++i) (*x)[i] = b[i] / a[i][i];
+  return true;
+}
+
+struct Features {
+  double io = 0;        // sum of input cardinalities
+  double transfer = 0;  // method-specific network units
+  double compute = 0;   // output cardinality
+};
+
+Features Featurize(const CalibrationSample& s, int num_nodes) {
+  Features f;
+  double max = 0;
+  for (double c : s.input_cards) {
+    f.io += c;
+    max = std::max(max, c);
+  }
+  switch (s.method) {
+    case JoinMethod::kLocal:
+      f.transfer = 0;
+      break;
+    case JoinMethod::kBroadcast:
+      f.transfer = (f.io - max) * num_nodes;
+      break;
+    case JoinMethod::kRepartition:
+      f.transfer = f.io;
+      break;
+  }
+  f.compute = s.output_card;
+  return f;
+}
+
+}  // namespace
+
+CostParams CalibrateCostParams(std::span<const CalibrationSample> samples,
+                               const CostParams& initial) {
+  CostParams out = initial;
+
+  // Per-method 3-variable least squares on (io, transfer, compute);
+  // local joins have no transfer column, so they get a 2-variable fit.
+  std::vector<double> alphas;
+  auto fit3 = [&](JoinMethod method, double* beta, double* gamma) {
+    std::array<std::array<double, 3>, 3> a{};
+    std::array<double, 3> b{};
+    int count = 0;
+    for (const CalibrationSample& s : samples) {
+      if (s.method != method) continue;
+      Features f = Featurize(s, initial.num_nodes);
+      const double v[3] = {f.io, f.transfer, f.compute};
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) a[i][j] += v[i] * v[j];
+        b[i] += v[i] * s.seconds;
+      }
+      ++count;
+    }
+    if (count < 3) return;
+    std::array<double, 3> x{};
+    if (!Solve<3>(a, b, &x)) return;
+    alphas.push_back(std::max(0.0, x[0]));
+    *beta = std::max(0.0, x[1]);
+    *gamma = std::max(0.0, x[2]);
+  };
+
+  fit3(JoinMethod::kBroadcast, &out.beta_broadcast, &out.gamma_broadcast);
+  fit3(JoinMethod::kRepartition, &out.beta_repartition,
+       &out.gamma_repartition);
+
+  {
+    std::array<std::array<double, 2>, 2> a{};
+    std::array<double, 2> b{};
+    int count = 0;
+    for (const CalibrationSample& s : samples) {
+      if (s.method != JoinMethod::kLocal) continue;
+      Features f = Featurize(s, initial.num_nodes);
+      const double v[2] = {f.io, f.compute};
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) a[i][j] += v[i] * v[j];
+        b[i] += v[i] * s.seconds;
+      }
+      ++count;
+    }
+    if (count >= 2) {
+      std::array<double, 2> x{};
+      if (Solve<2>(a, b, &x)) {
+        alphas.push_back(std::max(0.0, x[0]));
+        out.gamma_local = std::max(0.0, x[1]);
+      }
+    }
+  }
+
+  if (!alphas.empty()) {
+    double sum = 0;
+    for (double v : alphas) sum += v;
+    out.alpha = sum / static_cast<double>(alphas.size());
+  }
+  return out;
+}
+
+}  // namespace parqo

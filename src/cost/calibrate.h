@@ -1,0 +1,39 @@
+// Cost-model calibration. Table II's normalization factors were
+// "obtained by our experiments" (Section V-A); this module makes that
+// step reproducible: given observed operator executions — input sizes,
+// output size, method, and measured wall time — it fits the Table I
+// coefficients by least squares, one (alpha, beta, gamma) triple per
+// join method, sharing alpha across methods by averaging.
+//
+//   time ~ alpha * sum|in| + beta_m * transfer_units_m + gamma_m * |out|
+//
+// where transfer_units is (sum-max)*n for broadcast and sum for
+// repartition (0 for local joins, so local fits only alpha and gamma).
+
+#ifndef PARQO_COST_CALIBRATE_H_
+#define PARQO_COST_CALIBRATE_H_
+
+#include <span>
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace parqo {
+
+/// One observed operator execution.
+struct CalibrationSample {
+  JoinMethod method = JoinMethod::kLocal;
+  std::vector<double> input_cards;
+  double output_card = 0;
+  double seconds = 0;  ///< Measured wall time of the operator.
+};
+
+/// Fits Table I coefficients to the samples. Methods with no samples
+/// keep their values from `initial`; `num_nodes` must match the cluster
+/// the samples came from. Coefficients are clamped to be non-negative.
+CostParams CalibrateCostParams(std::span<const CalibrationSample> samples,
+                               const CostParams& initial);
+
+}  // namespace parqo
+
+#endif  // PARQO_COST_CALIBRATE_H_

@@ -1,0 +1,60 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+
+namespace parqo {
+
+std::string ToString(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kLocal: return "local";
+    case JoinMethod::kBroadcast: return "broadcast";
+    case JoinMethod::kRepartition: return "repartition";
+  }
+  return "?";
+}
+
+double CostModel::IoCost(std::span<const double> input_cards) const {
+  double sum = 0;
+  for (double c : input_cards) sum += c;
+  return params_.alpha * sum;
+}
+
+double CostModel::TransferCost(JoinMethod method,
+                               std::span<const double> input_cards) const {
+  double sum = 0;
+  double max = 0;
+  for (double c : input_cards) {
+    sum += c;
+    max = std::max(max, c);
+  }
+  switch (method) {
+    case JoinMethod::kLocal:
+      return 0;
+    case JoinMethod::kBroadcast:
+      return params_.beta_broadcast * (sum - max) * params_.num_nodes;
+    case JoinMethod::kRepartition:
+      return params_.beta_repartition * sum;
+  }
+  return 0;
+}
+
+double CostModel::ComputeCost(JoinMethod method, double output_card) const {
+  switch (method) {
+    case JoinMethod::kLocal:
+      return params_.gamma_local * output_card;
+    case JoinMethod::kBroadcast:
+      return params_.gamma_broadcast * output_card;
+    case JoinMethod::kRepartition:
+      return params_.gamma_repartition * output_card;
+  }
+  return 0;
+}
+
+double CostModel::JoinOpCost(JoinMethod method,
+                             std::span<const double> input_cards,
+                             double output_card) const {
+  return IoCost(input_cards) + TransferCost(method, input_cards) +
+         ComputeCost(method, output_card);
+}
+
+}  // namespace parqo

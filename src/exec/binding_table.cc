@@ -1,0 +1,79 @@
+#include "exec/binding_table.h"
+
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace parqo {
+namespace {
+
+std::uint64_t HashRow(const TermId* row, int cols) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int c = 0; c < cols; ++c) {
+    h ^= row[c];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void BindingTable::Deduplicate() {
+  if (schema_.empty() || data_.empty()) return;
+  const int cols = num_cols();
+  // Hash-set of row indexes with custom equality over the row data.
+  struct RowRef {
+    const std::vector<TermId>* data;
+    int cols;
+    std::size_t row;
+  };
+  struct RowHash {
+    std::size_t operator()(const RowRef& r) const {
+      return HashRow(r.data->data() + r.row * r.cols, r.cols);
+    }
+  };
+  struct RowEq {
+    bool operator()(const RowRef& a, const RowRef& b) const {
+      const TermId* pa = a.data->data() + a.row * a.cols;
+      const TermId* pb = b.data->data() + b.row * b.cols;
+      for (int c = 0; c < a.cols; ++c) {
+        if (pa[c] != pb[c]) return false;
+      }
+      return true;
+    }
+  };
+  std::unordered_set<RowRef, RowHash, RowEq> seen;
+  std::vector<TermId> out;
+  out.reserve(data_.size());
+  const std::size_t rows = NumRows();
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (seen.insert(RowRef{&data_, cols, r}).second) {
+      const TermId* p = RowPtr(r);
+      out.insert(out.end(), p, p + cols);
+    }
+  }
+  data_ = std::move(out);
+}
+
+BindingTable BindingTable::Project(const std::vector<VarId>& vars) const {
+  BindingTable out(vars);
+  std::vector<int> cols;
+  cols.reserve(vars.size());
+  for (VarId v : vars) {
+    int c = ColumnOf(v);
+    PARQO_CHECK(c >= 0);
+    cols.push_back(c);
+  }
+  std::vector<TermId> row(vars.size());
+  const std::size_t rows = NumRows();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      row[i] = At(r, cols[i]);
+    }
+    out.AppendRow(row);
+  }
+  out.Deduplicate();
+  return out;
+}
+
+}  // namespace parqo

@@ -1,0 +1,63 @@
+// Columnar table of variable bindings flowing between operators of the
+// execution engine. The schema is a sorted list of VarIds; rows are dense
+// TermId tuples.
+
+#ifndef PARQO_EXEC_BINDING_TABLE_H_
+#define PARQO_EXEC_BINDING_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/join_graph.h"
+#include "rdf/term.h"
+
+namespace parqo {
+
+class BindingTable {
+ public:
+  BindingTable() = default;
+  explicit BindingTable(std::vector<VarId> schema)
+      : schema_(std::move(schema)) {}
+
+  const std::vector<VarId>& schema() const { return schema_; }
+  int num_cols() const { return static_cast<int>(schema_.size()); }
+  std::size_t NumRows() const {
+    return schema_.empty() ? 0 : data_.size() / schema_.size();
+  }
+
+  /// Column index of variable v, or -1 if absent.
+  int ColumnOf(VarId v) const {
+    for (int c = 0; c < num_cols(); ++c) {
+      if (schema_[c] == v) return c;
+    }
+    return -1;
+  }
+
+  TermId At(std::size_t row, int col) const {
+    return data_[row * schema_.size() + col];
+  }
+
+  /// Appends one row; `row` must have num_cols() entries.
+  void AppendRow(const TermId* row) {
+    data_.insert(data_.end(), row, row + schema_.size());
+  }
+  void AppendRow(const std::vector<TermId>& row) { AppendRow(row.data()); }
+
+  const TermId* RowPtr(std::size_t row) const {
+    return data_.data() + row * schema_.size();
+  }
+
+  /// Removes duplicate rows (set semantics).
+  void Deduplicate();
+
+  /// Rows projected onto `vars` (each must be in the schema), deduplicated.
+  BindingTable Project(const std::vector<VarId>& vars) const;
+
+ private:
+  std::vector<VarId> schema_;
+  std::vector<TermId> data_;  // row-major
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_EXEC_BINDING_TABLE_H_

@@ -1,0 +1,23 @@
+#include "exec/cluster.h"
+
+namespace parqo {
+
+Cluster::Cluster(const RdfGraph& graph,
+                 const PartitionAssignment& assignment)
+    : graph_(&graph) {
+  nodes_.reserve(assignment.num_nodes);
+  for (const auto& idxs : assignment.node_triples) {
+    std::vector<Triple> triples;
+    triples.reserve(idxs.size());
+    for (TripleIdx i : idxs) triples.push_back(graph.triples()[i]);
+    nodes_.emplace_back(std::move(triples));
+  }
+}
+
+std::size_t Cluster::TotalStored() const {
+  std::size_t sum = 0;
+  for (const NodeStore& n : nodes_) sum += n.NumTriples();
+  return sum;
+}
+
+}  // namespace parqo

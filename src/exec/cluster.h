@@ -1,0 +1,39 @@
+// The simulated shared-nothing cluster: n nodes, each holding the triples
+// a Partitioner assigned to it. This substitutes for the paper's 10-node
+// RDF-3X + Hadoop testbed (see DESIGN.md section 2): plans execute for
+// real against the partitioned data, and the engine meters the I/O and
+// network volumes that the cost model of Table I prices.
+
+#ifndef PARQO_EXEC_CLUSTER_H_
+#define PARQO_EXEC_CLUSTER_H_
+
+#include <vector>
+
+#include "exec/node_store.h"
+#include "partition/partitioner.h"
+#include "rdf/graph.h"
+
+namespace parqo {
+
+class Cluster {
+ public:
+  /// Materializes per-node stores from a partition assignment over `graph`.
+  /// `graph` must outlive the cluster.
+  Cluster(const RdfGraph& graph, const PartitionAssignment& assignment);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const NodeStore& node(int i) const { return nodes_[i]; }
+  const RdfGraph& graph() const { return *graph_; }
+
+  /// Total stored triples across nodes (>= graph().NumTriples() due to
+  /// replication).
+  std::size_t TotalStored() const;
+
+ private:
+  const RdfGraph* graph_;
+  std::vector<NodeStore> nodes_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_EXEC_CLUSTER_H_

@@ -1,0 +1,351 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "partition/partitioner.h"
+
+namespace parqo {
+namespace {
+
+std::uint64_t HashKey(const std::vector<TermId>& key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (TermId t : key) {
+    h ^= t;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Sorted union of two schemas.
+std::vector<VarId> MergeSchemas(const std::vector<VarId>& a,
+                                const std::vector<VarId>& b) {
+  std::vector<VarId> out = a;
+  for (VarId v : b) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VarId> SharedSchema(const std::vector<VarId>& a,
+                                const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  for (VarId v : a) {
+    if (std::find(b.begin(), b.end(), v) != b.end()) out.push_back(v);
+  }
+  return out;
+}
+
+// Hash join of two tables on all shared variables (cross product when none
+// are shared, which only arises inside constant-anchored local queries).
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right) {
+  std::vector<VarId> shared = SharedSchema(left.schema(), right.schema());
+  std::vector<VarId> out_schema =
+      MergeSchemas(left.schema(), right.schema());
+  BindingTable out(out_schema);
+
+  // Column plumbing.
+  std::vector<int> left_key, right_key;
+  for (VarId v : shared) {
+    left_key.push_back(left.ColumnOf(v));
+    right_key.push_back(right.ColumnOf(v));
+  }
+  std::vector<int> out_from_left(out_schema.size(), -1);
+  std::vector<int> out_from_right(out_schema.size(), -1);
+  for (std::size_t i = 0; i < out_schema.size(); ++i) {
+    out_from_left[i] = left.ColumnOf(out_schema[i]);
+    out_from_right[i] = right.ColumnOf(out_schema[i]);
+  }
+
+  std::vector<TermId> key(shared.size());
+  std::vector<TermId> row(out_schema.size());
+  auto emit = [&](std::size_t lr, std::size_t rr) {
+    for (std::size_t i = 0; i < out_schema.size(); ++i) {
+      row[i] = out_from_left[i] >= 0 ? left.At(lr, out_from_left[i])
+                                     : right.At(rr, out_from_right[i]);
+    }
+    out.AppendRow(row);
+  };
+
+  if (shared.empty()) {
+    for (std::size_t lr = 0; lr < left.NumRows(); ++lr) {
+      for (std::size_t rr = 0; rr < right.NumRows(); ++rr) emit(lr, rr);
+    }
+    return out;
+  }
+
+  // Build on the smaller side.
+  const bool build_left = left.NumRows() <= right.NumRows();
+  const BindingTable& build = build_left ? left : right;
+  const BindingTable& probe = build_left ? right : left;
+  const std::vector<int>& build_key = build_left ? left_key : right_key;
+  const std::vector<int>& probe_key = build_left ? right_key : left_key;
+
+  std::unordered_multimap<std::uint64_t, std::size_t> table;
+  table.reserve(build.NumRows());
+  for (std::size_t r = 0; r < build.NumRows(); ++r) {
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      key[i] = build.At(r, build_key[i]);
+    }
+    table.emplace(HashKey(key), r);
+  }
+  for (std::size_t r = 0; r < probe.NumRows(); ++r) {
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      key[i] = probe.At(r, probe_key[i]);
+    }
+    auto [lo, hi] = table.equal_range(HashKey(key));
+    for (auto it = lo; it != hi; ++it) {
+      std::size_t b = it->second;
+      bool equal = true;
+      for (std::size_t i = 0; i < key.size(); ++i) {
+        if (build.At(b, build_key[i]) != key[i]) {
+          equal = false;
+          break;
+        }
+      }
+      if (!equal) continue;
+      if (build_left) {
+        emit(b, r);
+      } else {
+        emit(r, b);
+      }
+    }
+  }
+  return out;
+}
+
+// Runs fn(0..n-1), one thread per node when parallel (the simulated
+// cluster's nodes genuinely work concurrently). fn must only touch
+// node-local state.
+void ForEachNode(int n, bool parallel,
+                 const std::function<void(int)>& fn) {
+  if (!parallel || n <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) threads.emplace_back(fn, i);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+
+ResolvedPattern BindPattern(const TriplePattern& pattern,
+                            const JoinGraph& jg, const Dictionary& dict) {
+  ResolvedPattern out;
+  auto bind = [&](const PatternTerm& t, TermId* c, VarId* v) {
+    if (t.IsVar()) {
+      *v = jg.FindVar(t.var);
+    } else {
+      *c = dict.Lookup(t.term);
+      if (*c == kInvalidTermId) out.unmatchable = true;
+    }
+  };
+  bind(pattern.s, &out.s, &out.var_s);
+  bind(pattern.p, &out.p, &out.var_p);
+  bind(pattern.o, &out.o, &out.var_o);
+  for (VarId v : {out.var_s, out.var_p, out.var_o}) {
+    if (v != kInvalidVarId &&
+        std::find(out.schema.begin(), out.schema.end(), v) ==
+            out.schema.end()) {
+      out.schema.push_back(v);
+    }
+  }
+  std::sort(out.schema.begin(), out.schema.end());
+  return out;
+}
+
+struct Executor::DistTable {
+  std::vector<BindingTable> per_node;
+  std::vector<VarId> schema;
+
+  std::uint64_t GlobalRows() const {
+    std::uint64_t sum = 0;
+    for (const BindingTable& t : per_node) sum += t.NumRows();
+    return sum;
+  }
+};
+
+Executor::Executor(const Cluster& cluster, const JoinGraph& jg,
+                   CostParams cost_params, bool parallel_nodes)
+    : cluster_(cluster),
+      jg_(jg),
+      cost_model_(cost_params),
+      parallel_nodes_(parallel_nodes) {}
+
+Result<BindingTable> Executor::Execute(const PlanNode& plan,
+                                       ExecMetrics* metrics) {
+  Stopwatch watch;
+  ExecMetrics local_metrics;
+  ExecMetrics& m = metrics != nullptr ? *metrics : local_metrics;
+  m = ExecMetrics{};
+
+  const int n = cluster_.num_nodes();
+
+  // Recursive evaluation; returns the distributed table and fills the
+  // measured Eq. 3 cost of the subtree.
+  struct Frame {
+    DistTable table;
+    double cost = 0;
+  };
+  std::function<Frame(const PlanNode&)> eval =
+      [&](const PlanNode& node) -> Frame {
+    Frame frame;
+    if (node.kind == PlanNode::Kind::kScan) {
+      ResolvedPattern rp =
+          BindPattern(jg_.pattern(node.tp), jg_, cluster_.graph().dict());
+      frame.table.schema = rp.schema;
+      frame.table.per_node.resize(n);
+      ForEachNode(n, parallel_nodes_, [&](int i) {
+        frame.table.per_node[i] = cluster_.node(i).Scan(rp);
+      });
+      for (const BindingTable& t : frame.table.per_node) {
+        m.rows_scanned += t.NumRows();
+      }
+      frame.cost = 0;
+      return frame;
+    }
+
+    // Evaluate children.
+    std::vector<Frame> children;
+    children.reserve(node.children.size());
+    double max_child_cost = 0;
+    std::vector<double> input_cards;
+    for (const PlanNodePtr& c : node.children) {
+      Frame f = eval(*c);
+      max_child_cost = std::max(max_child_cost, f.cost);
+      input_cards.push_back(static_cast<double>(f.table.GlobalRows()));
+      children.push_back(std::move(f));
+    }
+
+    if (node.method != JoinMethod::kLocal) ++m.distributed_joins;
+
+    DistTable out;
+    out.per_node.resize(n);
+    switch (node.method) {
+      case JoinMethod::kLocal: {
+        ForEachNode(n, parallel_nodes_, [&](int i) {
+          BindingTable acc = children[0].table.per_node[i];
+          for (std::size_t c = 1; c < children.size(); ++c) {
+            acc = HashJoin(acc, children[c].table.per_node[i]);
+          }
+          out.per_node[i] = std::move(acc);
+        });
+        break;
+      }
+      case JoinMethod::kBroadcast: {
+        // Keep the globally largest input partitioned; gather the rest.
+        std::size_t largest = 0;
+        for (std::size_t c = 1; c < children.size(); ++c) {
+          if (children[c].table.GlobalRows() >
+              children[largest].table.GlobalRows()) {
+            largest = c;
+          }
+        }
+        std::vector<BindingTable> gathered;
+        for (std::size_t c = 0; c < children.size(); ++c) {
+          if (c == largest) continue;
+          BindingTable g(children[c].table.schema);
+          for (const BindingTable& t : children[c].table.per_node) {
+            for (std::size_t r = 0; r < t.NumRows(); ++r) {
+              g.AppendRow(t.RowPtr(r));
+            }
+          }
+          g.Deduplicate();
+          m.rows_transferred += g.NumRows() * static_cast<std::uint64_t>(n);
+          gathered.push_back(std::move(g));
+        }
+        ForEachNode(n, parallel_nodes_, [&](int i) {
+          BindingTable acc = children[largest].table.per_node[i];
+          for (const BindingTable& g : gathered) {
+            acc = HashJoin(acc, g);
+          }
+          out.per_node[i] = std::move(acc);
+        });
+        break;
+      }
+      case JoinMethod::kRepartition: {
+        // Re-hash every input on the cmd's join variable.
+        std::vector<std::vector<BindingTable>> routed(children.size());
+        for (std::size_t c = 0; c < children.size(); ++c) {
+          const DistTable& in = children[c].table;
+          routed[c].assign(n, BindingTable(in.schema));
+          int col = -1;
+          if (!in.per_node.empty()) {
+            col = in.per_node[0].ColumnOf(node.join_var);
+          }
+          PARQO_CHECK(col >= 0);
+          for (const BindingTable& t : in.per_node) {
+            for (std::size_t r = 0; r < t.NumRows(); ++r) {
+              int target = HashToNode(t.At(r, col), n);
+              routed[c][target].AppendRow(t.RowPtr(r));
+            }
+            m.rows_transferred += t.NumRows();
+          }
+          // Replicated source rows can meet at the target; dedup there.
+          for (BindingTable& t : routed[c]) t.Deduplicate();
+        }
+        ForEachNode(n, parallel_nodes_, [&](int i) {
+          BindingTable acc = std::move(routed[0][i]);
+          for (std::size_t c = 1; c < children.size(); ++c) {
+            acc = HashJoin(acc, routed[c][i]);
+          }
+          out.per_node[i] = std::move(acc);
+        });
+        break;
+      }
+    }
+    out.schema = out.per_node.empty() ? std::vector<VarId>{}
+                                      : out.per_node[0].schema();
+
+    double output_card = static_cast<double>(out.GlobalRows());
+    frame.cost = max_child_cost +
+                 cost_model_.JoinOpCost(node.method, input_cards,
+                                        output_card);
+    frame.table = std::move(out);
+    return frame;
+  };
+
+  Frame root = eval(plan);
+  m.measured_cost = root.cost;
+
+  // Gather and deduplicate the global result.
+  BindingTable result(root.table.schema);
+  for (const BindingTable& t : root.table.per_node) {
+    for (std::size_t r = 0; r < t.NumRows(); ++r) {
+      result.AppendRow(t.RowPtr(r));
+    }
+  }
+  result.Deduplicate();
+  m.result_rows = result.NumRows();
+  m.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<BindingTable> ExecuteAndProject(Executor& executor,
+                                       const PlanNode& plan,
+                                       const ParsedQuery& query,
+                                       const JoinGraph& jg,
+                                       ExecMetrics* metrics) {
+  Result<BindingTable> full = executor.Execute(plan, metrics);
+  if (!full.ok()) return full;
+  if (query.select_all) return full;
+  std::vector<VarId> vars;
+  for (const std::string& name : query.select_vars) {
+    VarId v = jg.FindVar(name);
+    if (v == kInvalidVarId) {
+      return Status::InvalidArgument("SELECT variable ?" + name +
+                                     " does not occur in the query body");
+    }
+    vars.push_back(v);
+  }
+  return full->Project(vars);
+}
+
+}  // namespace parqo

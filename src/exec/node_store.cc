@@ -1,0 +1,106 @@
+#include "exec/node_store.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace parqo {
+namespace {
+
+struct PsoLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.p, a.s, a.o) < std::tie(b.p, b.s, b.o);
+  }
+};
+struct PosLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
+  }
+};
+
+}  // namespace
+
+NodeStore::NodeStore(std::vector<Triple> triples) : pso_(std::move(triples)) {
+  std::sort(pso_.begin(), pso_.end(), PsoLess{});
+  pos_ = pso_;
+  std::sort(pos_.begin(), pos_.end(), PosLess{});
+}
+
+void NodeStore::EmitMatch(const ResolvedPattern& pattern, const Triple& t,
+                          BindingTable* out) const {
+  // Repeated-variable patterns require equal bindings.
+  if (pattern.var_s != kInvalidVarId && pattern.var_s == pattern.var_o &&
+      t.s != t.o) {
+    return;
+  }
+  if (pattern.var_s != kInvalidVarId && pattern.var_s == pattern.var_p &&
+      t.s != t.p) {
+    return;
+  }
+  if (pattern.var_p != kInvalidVarId && pattern.var_p == pattern.var_o &&
+      t.p != t.o) {
+    return;
+  }
+  TermId row[3];
+  for (std::size_t i = 0; i < pattern.schema.size(); ++i) {
+    VarId v = pattern.schema[i];
+    if (v == pattern.var_s) {
+      row[i] = t.s;
+    } else if (v == pattern.var_p) {
+      row[i] = t.p;
+    } else {
+      row[i] = t.o;
+    }
+  }
+  out->AppendRow(row);
+}
+
+BindingTable NodeStore::Scan(const ResolvedPattern& pattern) const {
+  BindingTable out(pattern.schema);
+  if (pattern.unmatchable) return out;
+
+  auto match_rest = [&](const Triple& t) {
+    return (pattern.s == kInvalidTermId || t.s == pattern.s) &&
+           (pattern.p == kInvalidTermId || t.p == pattern.p) &&
+           (pattern.o == kInvalidTermId || t.o == pattern.o);
+  };
+
+  if (pattern.p == kInvalidTermId) {
+    // Variable predicate: full scan.
+    for (const Triple& t : pso_) {
+      if (match_rest(t)) EmitMatch(pattern, t, &out);
+    }
+    return out;
+  }
+
+  if (pattern.s != kInvalidTermId) {
+    // (p, s) range in PSO.
+    Triple lo{pattern.s, pattern.p, 0};
+    auto begin = std::lower_bound(pso_.begin(), pso_.end(), lo, PsoLess{});
+    for (auto it = begin;
+         it != pso_.end() && it->p == pattern.p && it->s == pattern.s;
+         ++it) {
+      if (match_rest(*it)) EmitMatch(pattern, *it, &out);
+    }
+    return out;
+  }
+  if (pattern.o != kInvalidTermId) {
+    // (p, o) range in POS.
+    Triple lo{0, pattern.p, pattern.o};
+    auto begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess{});
+    for (auto it = begin;
+         it != pos_.end() && it->p == pattern.p && it->o == pattern.o;
+         ++it) {
+      if (match_rest(*it)) EmitMatch(pattern, *it, &out);
+    }
+    return out;
+  }
+  // Predicate-only range in PSO.
+  Triple lo{0, pattern.p, 0};
+  auto begin = std::lower_bound(pso_.begin(), pso_.end(), lo, PsoLess{});
+  for (auto it = begin; it != pso_.end() && it->p == pattern.p; ++it) {
+    EmitMatch(pattern, *it, &out);
+  }
+  return out;
+}
+
+}  // namespace parqo

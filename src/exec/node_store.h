@@ -1,0 +1,56 @@
+// Per-node triple storage of the simulated cluster. Each node keeps its
+// assigned triples in two sort orders (PSO and POS) so that the triple
+// patterns of our workloads — constant predicate with constant subject,
+// constant object, both, or neither — scan via binary search; variable
+// predicates fall back to a full scan. This plays the role RDF-3X plays on
+// each worker in the paper's prototype.
+
+#ifndef PARQO_EXEC_NODE_STORE_H_
+#define PARQO_EXEC_NODE_STORE_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "exec/binding_table.h"
+#include "query/join_graph.h"
+#include "rdf/triple.h"
+
+namespace parqo {
+
+/// A triple pattern with constants resolved to TermIds; kInvalidTermId in
+/// a position means "variable". Produced by BindPattern (executor.h).
+struct ResolvedPattern {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+  VarId var_s = kInvalidVarId;
+  VarId var_p = kInvalidVarId;
+  VarId var_o = kInvalidVarId;
+  /// Sorted distinct variables (the scan output schema).
+  std::vector<VarId> schema;
+  /// True when the pattern has an unbindable constant (absent from the
+  /// dictionary): it matches nothing anywhere.
+  bool unmatchable = false;
+};
+
+class NodeStore {
+ public:
+  explicit NodeStore(std::vector<Triple> triples);
+
+  std::size_t NumTriples() const { return pso_.size(); }
+
+  /// Scans this node's triples for `pattern` matches.
+  BindingTable Scan(const ResolvedPattern& pattern) const;
+
+ private:
+  void EmitMatch(const ResolvedPattern& pattern, const Triple& t,
+                 BindingTable* out) const;
+
+  std::vector<Triple> pso_;  // sorted by (p, s, o)
+  std::vector<Triple> pos_;  // sorted by (p, o, s)
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_EXEC_NODE_STORE_H_

@@ -1,0 +1,102 @@
+// Connected binary-division enumeration — Algorithm 2 of the paper.
+//
+// Given a connected (sub)query Q and a join variable v_j with at least two
+// incident patterns in Q, a connected binary-division (cbd) is an unordered
+// split (SQ1, SQ2, v_j) with SQ1 u SQ2 = Q, SQ1 n SQ2 = empty, both sides
+// connected and both containing a pattern in N_tp(v_j) (Definition 3 with
+// k = 2). The algorithm removes v_j from the join graph, classifies the
+// resulting components as indivisible (one neighbor of v_j) or divisible
+// (several), and grows SQ from an anchor neighbor pattern:
+//
+//   * extending into an indivisible component absorbs the whole component
+//     (Lemma 1);
+//   * extending with a pattern tp of a divisible component also absorbs
+//     the pieces of the component that lose their connection to v_j
+//     (Lemma 2);
+//   * an exclusion set X prevents re-deriving the same SQ along a
+//     different order, so every cbd is emitted exactly once (Theorem 1);
+//   * the cost per emitted cbd is O(|V_T|) in the worst case (Lemma 6).
+//
+// The implementation is a template over the graph type: it runs unchanged
+// on the raw JoinGraph and on the GroupedJoinGraph used by HGR-TD-CMD.
+
+#ifndef PARQO_OPTIMIZER_CBD_ENUMERATOR_H_
+#define PARQO_OPTIMIZER_CBD_ENUMERATOR_H_
+
+#include <vector>
+
+#include "common/tp_set.h"
+#include "query/join_graph.h"
+
+namespace parqo {
+
+/// Enumerates all cbds of `q` on `vj`, invoking `emit(sq1, sq2)` for each;
+/// sq1 is the side containing the anchor (the lowest-index pattern of
+/// N_tp(vj) in q). If `emit` returns false, enumeration stops and this
+/// returns false. Requires: q connected in `graph`, Degree(vj, q) >= 2.
+template <typename Graph, typename EmitFn>
+bool EnumerateCbds(const Graph& graph, TpSet q, VarId vj, EmitFn&& emit) {
+  struct Context {
+    const Graph& graph;
+    TpSet q;
+    VarId vj;
+    TpSet neighbors;  // N_tp(vj) & q
+    EmitFn& emit;
+    // Line 1: the components C_vj of q with v_j removed, fixed up front.
+    std::vector<TpSet> components;
+    int component_of[TpSet::kMaxSize] = {};
+
+    void BuildComponents() {
+      components = graph.ComponentsExcluding(q, vj);
+      for (std::size_t i = 0; i < components.size(); ++i) {
+        for (int tp : components[i]) component_of[tp] = static_cast<int>(i);
+      }
+    }
+
+    TpSet ComponentAt(int tp) const { return components[component_of[tp]]; }
+
+    bool Recurse(TpSet sq, TpSet excluded) {
+      // Line 3: a full or tainted extension yields no further cbds.
+      if (sq == q || sq.Intersects(excluded)) return true;
+      if (!sq.Empty()) {
+        if (!emit(sq, q - sq)) return false;  // line 5: emit one cbd
+      }
+
+      TpSet ext = excluded;
+      TpSet candidates;
+      if (sq.Empty()) {
+        candidates = TpSet::Singleton(neighbors.First());  // anchor
+      } else {
+        candidates = (graph.NeighborsOf(sq) & q) - excluded;  // line 10
+      }
+      for (int tp : candidates) {
+        TpSet comp = ComponentAt(tp);
+        bool indivisible = (comp & neighbors).Count() == 1;
+        TpSet extension;
+        if (indivisible) {
+          extension = comp;  // Lemma 1: absorb the whole component
+        } else {
+          // Lemma 2: absorb tp plus every piece of comp \ (sq u {tp})
+          // that no longer touches v_j.
+          extension = TpSet::Singleton(tp);
+          TpSet remainder = comp - sq - extension;
+          for (TpSet piece :
+               graph.ComponentsExcluding(remainder, vj)) {
+            if ((piece & neighbors).Empty()) extension |= piece;
+          }
+        }
+        if (!Recurse(sq | extension, ext)) return false;
+        ext.Add(tp);  // line 18: exclude tp from later branches
+      }
+      return true;
+    }
+  };
+
+  Context ctx{graph, q, vj, graph.Ntp(vj) & q, emit, {}, {}};
+  ctx.BuildComponents();
+  return ctx.Recurse(TpSet{}, TpSet{});
+}
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_CBD_ENUMERATOR_H_

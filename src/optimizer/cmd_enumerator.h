@@ -1,0 +1,111 @@
+// Connected multi-division enumeration — Algorithm 3 of the paper.
+//
+// A connected multi-division (cmd) of a query Q on join variable v_j is a
+// partition (SQ1, ..., SQk, v_j), k >= 2, of Q into connected subqueries
+// that each contain a pattern of N_tp(v_j) (Definition 3). Each cmd is one
+// candidate k-way join operator. The enumeration peels connected
+// binary-divisions off recursively: the part containing the current anchor
+// is pushed onto a stack and the remainder is split further, which yields
+// every cmd exactly once (Theorem 2) at O(|V_T|) amortized cost per cmd
+// (Lemma 3).
+//
+// Mode kCcmdAndBinary implements TD-CMDP's Rule 1 (Section IV-A): emit all
+// binary divisions, but for k > 2 emit only connected
+// complete-multi-divisions (ccmds), in which every part contains exactly
+// one pattern of N_tp(v_j).
+
+#ifndef PARQO_OPTIMIZER_CMD_ENUMERATOR_H_
+#define PARQO_OPTIMIZER_CMD_ENUMERATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/tp_set.h"
+#include "optimizer/cbd_enumerator.h"
+#include "query/join_graph.h"
+
+namespace parqo {
+
+enum class CmdMode {
+  kAll,            ///< TD-CMD: every connected multi-division.
+  kCcmdAndBinary,  ///< TD-CMDP Rule 1: binary divisions + ccmds only.
+  /// Binary divisions only (k = 2). With this mode Algorithm 1 degrades
+  /// to a classical binary bushy-plan optimizer — the plan space of
+  /// TriAD's DP [8], which the paper uses to argue for multi-way joins.
+  kBinaryOnly,
+};
+
+/// Enumerates the multi-divisions of `q` on a single join variable `vj`.
+/// `emit(parts, vj)` receives all k parts; parts are valid only during the
+/// call. Returns false iff an emit callback returned false (abort).
+/// Requires q connected and Degree(vj, q) >= 2.
+template <typename Graph, typename EmitFn>
+bool EnumerateCmdsOnVar(const Graph& graph, TpSet q, VarId vj, CmdMode mode,
+                        EmitFn&& emit) {
+  struct Context {
+    const Graph& graph;
+    VarId vj;
+    CmdMode mode;
+    EmitFn& emit;
+    std::vector<TpSet> stack;
+    bool stack_complete = true;  // all stacked parts have exactly 1 neighbor
+
+    bool Recurse(TpSet sql) {
+      if (!stack.empty()) {
+        bool do_emit = true;
+        if (mode == CmdMode::kCcmdAndBinary && stack.size() >= 2) {
+          // k >= 3: only ccmds survive Rule 1. Stacked parts are already
+          // single-neighbor by the pruned recursion below; check the tail.
+          do_emit =
+              stack_complete && graph.Degree(vj, sql) == 1;
+        }
+        if (do_emit) {
+          stack.push_back(sql);
+          bool keep_going = emit(std::span<const TpSet>(stack), vj);
+          stack.pop_back();
+          if (!keep_going) return false;
+        }
+        if (mode == CmdMode::kBinaryOnly) return true;  // k = 2 only
+      }
+      if (graph.Degree(vj, sql) < 2) return true;  // cannot split further
+      if (mode == CmdMode::kCcmdAndBinary && !stack.empty() &&
+          !stack_complete) {
+        // A stacked multi-neighbor part rules out any deeper ccmd.
+        return true;
+      }
+      return EnumerateCbds(graph, sql, vj, [&](TpSet sq1, TpSet sq2) {
+        if (mode == CmdMode::kCcmdAndBinary && !stack.empty() &&
+            graph.Degree(vj, sq1) != 1) {
+          // This branch could only produce non-complete k>=3 divisions.
+          return true;
+        }
+        bool saved = stack_complete;
+        stack_complete = saved && graph.Degree(vj, sq1) == 1;
+        stack.push_back(sq1);
+        bool ok = Recurse(sq2);
+        stack.pop_back();
+        stack_complete = saved;
+        return ok;
+      });
+    }
+  };
+
+  Context ctx{graph, vj, mode, emit, {}, true};
+  return ctx.Recurse(q);
+}
+
+/// Enumerates D_cmd(q): the multi-divisions of `q` over every join
+/// variable (Algorithm 3's outer loop). Returns false on abort.
+template <typename Graph, typename EmitFn>
+bool EnumerateCmds(const Graph& graph, TpSet q, CmdMode mode,
+                   EmitFn&& emit) {
+  for (VarId vj : graph.join_vars()) {
+    if (graph.Degree(vj, q) < 2) continue;
+    if (!EnumerateCmdsOnVar(graph, q, vj, mode, emit)) return false;
+  }
+  return true;
+}
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_CMD_ENUMERATOR_H_

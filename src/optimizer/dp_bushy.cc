@@ -1,0 +1,159 @@
+#include "optimizer/dp_bushy.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace parqo {
+namespace {
+
+class DpBushy {
+ public:
+  DpBushy(const OptimizerInputs& inputs, const OptimizeOptions& options)
+      : jg_(*inputs.join_graph),
+        local_index_(*inputs.local_index),
+        builder_(*inputs.estimator, CostModel(options.cost_params)),
+        timeout_seconds_(options.timeout_seconds) {}
+
+  OptimizeResult Run() {
+    Stopwatch watch;
+    PlanNodePtr plan = BestPlan(jg_.AllTps());
+    OptimizeResult result;
+    result.plan = aborted_ ? nullptr : plan;
+    result.seconds = watch.ElapsedSeconds();
+    result.enumerated = ops_enumerated_;
+    result.timed_out = aborted_;
+    result.algorithm_used = Algorithm::kDpBushy;
+    return result;
+  }
+
+ private:
+  bool Deadline() {
+    if (aborted_) return true;
+    if ((++probe_ & 0xfff) == 0 &&
+        stopwatch_.ElapsedSeconds() > timeout_seconds_) {
+      aborted_ = true;
+    }
+    return aborted_;
+  }
+
+  // The maximal multi-way division: one part per pattern adjacent to the
+  // highest-degree join variable, with the non-adjacent remainder pieces
+  // attached to a neighboring part (first fit).
+  bool MaximalDivision(TpSet q, VarId* var_out,
+                       std::vector<TpSet>* parts_out) {
+    VarId best_var = kInvalidVarId;
+    int best_degree = 0;
+    for (VarId v : jg_.join_vars()) {
+      int d = jg_.Degree(v, q);
+      if (d > best_degree) {
+        best_degree = d;
+        best_var = v;
+      }
+    }
+    if (best_degree < 3) return false;  // binary splits already cover k=2
+
+    TpSet neighbors = jg_.Ntp(best_var) & q;
+    std::vector<TpSet> parts;
+    for (int tp : neighbors) parts.push_back(TpSet::Singleton(tp));
+    for (TpSet comp : jg_.ComponentsExcluding(q, best_var)) {
+      TpSet remainder = comp - neighbors;
+      for (TpSet piece : jg_.ComponentsExcluding(remainder, best_var)) {
+        TpSet adj = jg_.NeighborsOf(piece) & neighbors;
+        if (adj.Empty()) return false;  // piece only reachable via v*
+        // Attach to the first adjacent seed part.
+        for (TpSet& part : parts) {
+          if (part.Intersects(adj)) {
+            part |= piece;
+            break;
+          }
+        }
+      }
+    }
+    *var_out = best_var;
+    *parts_out = std::move(parts);
+    return true;
+  }
+
+  PlanNodePtr BestPlan(TpSet q) {
+    auto it = memo_.find(q);
+    if (it != memo_.end()) return it->second;
+    PlanNodePtr best = Generate(q);
+    if (!aborted_) memo_.emplace(q, best);
+    return best;
+  }
+
+  PlanNodePtr Generate(TpSet q) {
+    if (q.Count() == 1) return builder_.Scan(q.First());
+    if (local_index_.IsLocal(q)) {
+      // Local subqueries are pushed down to the store as one local join.
+      return builder_.LocalJoinAll(q);
+    }
+
+    PlanNodePtr best;
+    auto consider = [&](JoinMethod method, VarId var,
+                        const std::vector<PlanNodePtr>& children) {
+      PlanNodePtr cand = builder_.Join(method, var, children);
+      if (!best || cand->total_cost < best->total_cost) best = cand;
+    };
+
+    // (a) Every binary split — generate first, check connectivity and
+    // Cartesian-freeness afterwards (the inefficiency the paper analyzes).
+    const std::uint64_t bits = q.bits();
+    const std::uint64_t low = bits & (~bits + 1);  // anchor the lowest bit
+    for (std::uint64_t sub = (bits - 1) & bits; sub != 0;
+         sub = (sub - 1) & bits) {
+      if (Deadline()) return best;
+      if ((sub & low) == 0) continue;  // canonical half only
+      TpSet left(sub);
+      TpSet right = q - left;
+      if (right.Empty()) continue;
+      // Post-hoc checks:
+      if (!jg_.IsConnected(left) || !jg_.IsConnected(right)) continue;
+      std::vector<VarId> shared = jg_.SharedJoinVars(left, right);
+      if (shared.empty()) continue;  // Cartesian product; discard
+      ++ops_enumerated_;
+      std::vector<PlanNodePtr> children{BestPlan(left), BestPlan(right)};
+      if (aborted_) return best;
+      consider(JoinMethod::kBroadcast, shared[0], children);
+      consider(JoinMethod::kRepartition, shared[0], children);
+    }
+
+    // (b) The one maximal multi-way join.
+    VarId var;
+    std::vector<TpSet> parts;
+    if (MaximalDivision(q, &var, &parts)) {
+      ++ops_enumerated_;
+      std::vector<PlanNodePtr> children;
+      children.reserve(parts.size());
+      for (TpSet part : parts) {
+        children.push_back(BestPlan(part));
+        if (aborted_) return best;
+      }
+      consider(JoinMethod::kBroadcast, var, children);
+      consider(JoinMethod::kRepartition, var, children);
+    }
+    return best;
+  }
+
+  const JoinGraph& jg_;
+  const LocalQueryIndex& local_index_;
+  PlanBuilder builder_;
+  double timeout_seconds_;
+
+  Stopwatch stopwatch_;
+  std::uint64_t probe_ = 0;
+  std::uint64_t ops_enumerated_ = 0;
+  bool aborted_ = false;
+  std::unordered_map<TpSet, PlanNodePtr, TpSetHash> memo_;
+};
+
+}  // namespace
+
+OptimizeResult RunDpBushy(const OptimizerInputs& inputs,
+                          const OptimizeOptions& options) {
+  return DpBushy(inputs, options).Run();
+}
+
+}  // namespace parqo

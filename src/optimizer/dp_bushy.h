@@ -1,0 +1,24 @@
+// DP-Bushy baseline — the top-down dynamic-programming optimizer of Huang,
+// Venkatraman & Abadi, "Query optimization of distributed pattern
+// matching" (ICDE 2014; reference [7]), reimplemented from the published
+// description and the characterization in Sections III/IV of the paper:
+// on each recursive call it considers (a) every binary split of the
+// subquery — generated first, checked for connectedness/Cartesian products
+// afterwards, which is what gives the algorithm its exponential amortized
+// cost per join operator — and (b) the single multi-way join that joins
+// the maximal number of inputs (built on the highest-degree join
+// variable). Local subqueries are evaluated directly by the store.
+
+#ifndef PARQO_OPTIMIZER_DP_BUSHY_H_
+#define PARQO_OPTIMIZER_DP_BUSHY_H_
+
+#include "optimizer/optimizer.h"
+
+namespace parqo {
+
+OptimizeResult RunDpBushy(const OptimizerInputs& inputs,
+                          const OptimizeOptions& options);
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_DP_BUSHY_H_

@@ -1,0 +1,41 @@
+#include "optimizer/enumeration_stats.h"
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace parqo {
+
+std::uint64_t BellNumber(int k) {
+  PARQO_CHECK(k >= 0 && k <= 25);
+  // Bell triangle.
+  std::vector<std::uint64_t> row{1};
+  for (int i = 1; i <= k; ++i) {
+    std::vector<std::uint64_t> next;
+    next.reserve(i + 1);
+    next.push_back(row.back());
+    for (std::uint64_t x : row) next.push_back(next.back() + x);
+    row = std::move(next);
+  }
+  return row.front();
+}
+
+std::uint64_t Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  std::uint64_t result = 1;
+  for (int i = 0; i < k; ++i) {
+    result = result * static_cast<std::uint64_t>(n - i) /
+             static_cast<std::uint64_t>(i + 1);
+  }
+  return result;
+}
+
+std::uint64_t StarSearchSpace(int n) {
+  std::uint64_t total = 0;
+  for (int k = 2; k <= n; ++k) {
+    total += (BellNumber(k) - 1) * Binomial(n, k);
+  }
+  return total;
+}
+
+}  // namespace parqo

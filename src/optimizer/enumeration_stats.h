@@ -1,0 +1,35 @@
+// Closed-form search-space sizes from Section III-D, used to validate the
+// enumerator (Table VII's TD-CMD column equals these formulas exactly for
+// chain and cycle queries) and to analyze the star worst case.
+
+#ifndef PARQO_OPTIMIZER_ENUMERATION_STATS_H_
+#define PARQO_OPTIMIZER_ENUMERATION_STATS_H_
+
+#include <cstdint>
+
+namespace parqo {
+
+/// T(Q) for a chain query with n patterns: (n^3 - n) / 6   (Eq. 8).
+constexpr std::uint64_t ChainSearchSpace(std::uint64_t n) {
+  return (n * n * n - n) / 6;
+}
+
+/// T(Q) for a cycle query with n patterns: (n^3 - n^2) / 2   (Eq. 9).
+constexpr std::uint64_t CycleSearchSpace(std::uint64_t n) {
+  return (n * n * n - n * n) / 2;
+}
+
+/// Bell number B_k (number of partitions of a k-element set); k <= 25
+/// fits in 64 bits comfortably for the sizes the tests use.
+std::uint64_t BellNumber(int k);
+
+/// T(Q) for a star query with n patterns: sum_k (B_k - 1) * C(n, k)
+/// (Eq. 7) — the worst case, where every multi-division is connected.
+std::uint64_t StarSearchSpace(int n);
+
+/// Binomial coefficient C(n, k).
+std::uint64_t Binomial(int n, int k);
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_ENUMERATION_STATS_H_

@@ -1,0 +1,117 @@
+#include "optimizer/grouped_graph.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace parqo {
+
+GroupedJoinGraph::GroupedJoinGraph(const JoinGraph& base,
+                                   std::vector<TpSet> groups)
+    : base_(&base), groups_(std::move(groups)) {
+  PARQO_CHECK(!groups_.empty());
+  PARQO_CHECK(groups_.size() <= TpSet::kMaxSize);
+  TpSet covered;
+  for (TpSet g : groups_) {
+    PARQO_CHECK(!g.Empty());
+    PARQO_CHECK(!g.Intersects(covered));
+    covered |= g;
+  }
+  PARQO_CHECK(covered == base.AllTps());
+
+  rel_ntp_.assign(base.num_vars(), TpSet{});
+  for (VarId v = 0; v < base.num_vars(); ++v) {
+    for (int rel = 0; rel < num_tps(); ++rel) {
+      if (base.Ntp(v).Intersects(groups_[rel])) rel_ntp_[v].Add(rel);
+    }
+  }
+  for (VarId v = 0; v < base.num_vars(); ++v) {
+    if (rel_ntp_[v].Count() >= 2) join_vars_.push_back(v);
+  }
+
+  rel_join_vars_.resize(num_tps());
+  adjacent_.assign(num_tps(), TpSet{});
+  for (int rel = 0; rel < num_tps(); ++rel) {
+    for (VarId v : join_vars_) {
+      if (rel_ntp_[v].Contains(rel)) {
+        rel_join_vars_[rel].push_back(v);
+        adjacent_[rel] |= rel_ntp_[v];
+      }
+    }
+    adjacent_[rel].Remove(rel);
+  }
+}
+
+TpSet GroupedJoinGraph::AdjacentExcluding(int rel, VarId vj) const {
+  TpSet out;
+  for (VarId v : rel_join_vars_[rel]) {
+    if (v != vj) out |= rel_ntp_[v];
+  }
+  out.Remove(rel);
+  return out;
+}
+
+TpSet GroupedJoinGraph::NeighborsOf(TpSet rels) const {
+  TpSet out;
+  for (int rel : rels) out |= adjacent_[rel];
+  return out - rels;
+}
+
+bool GroupedJoinGraph::IsConnected(TpSet rels) const {
+  if (rels.Count() <= 1) return true;
+  TpSet comp = TpSet::Singleton(rels.First());
+  TpSet frontier = comp;
+  while (!frontier.Empty()) {
+    TpSet next;
+    for (int rel : frontier) next |= adjacent_[rel];
+    next &= rels;
+    next -= comp;
+    comp |= next;
+    frontier = next;
+  }
+  return comp == rels;
+}
+
+TpSet GroupedJoinGraph::ComponentOfExcluding(int seed, TpSet within,
+                                             VarId vj) const {
+  TpSet comp = TpSet::Singleton(seed);
+  TpSet frontier = comp;
+  while (!frontier.Empty()) {
+    TpSet next;
+    for (int rel : frontier) next |= AdjacentExcluding(rel, vj);
+    next &= within;
+    next -= comp;
+    comp |= next;
+    frontier = next;
+  }
+  return comp;
+}
+
+std::vector<TpSet> GroupedJoinGraph::ComponentsExcluding(TpSet within,
+                                                         VarId vj) const {
+  std::vector<TpSet> out;
+  TpSet rest = within;
+  while (!rest.Empty()) {
+    TpSet comp = ComponentOfExcluding(rest.First(), rest, vj);
+    out.push_back(comp);
+    rest -= comp;
+  }
+  return out;
+}
+
+TpSet GroupedJoinGraph::ExpandTps(TpSet rels) const {
+  TpSet out;
+  for (int rel : rels) out |= groups_[rel];
+  return out;
+}
+
+int GroupedJoinGraph::MaxJoinVarDegree() const {
+  int best = 0;
+  for (VarId v : join_vars_) {
+    int d = rel_ntp_[v].Count();
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+}  // namespace parqo

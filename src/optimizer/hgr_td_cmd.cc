@@ -1,0 +1,57 @@
+#include "optimizer/hgr_td_cmd.h"
+
+#include "common/stopwatch.h"
+#include "optimizer/grouped_graph.h"
+#include "optimizer/join_graph_reduction.h"
+#include "optimizer/td_cmd_core.h"
+
+namespace parqo {
+
+OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
+                           const OptimizeOptions& options) {
+  const JoinGraph& jg = *inputs.join_graph;
+  PlanBuilder builder(*inputs.estimator, CostModel(options.cost_params));
+  Stopwatch watch;
+
+  OptimizeResult result;
+  result.algorithm_used = Algorithm::kHgrTdCmd;
+
+  JgrResult jgr = ReduceJoinGraph(jg, *inputs.local_index,
+                                  *inputs.estimator,
+                                  options.hgr_candidate_cap);
+
+  auto group_leaf = [&](TpSet group) -> PlanNodePtr {
+    if (group.Count() == 1) return builder.Scan(group.First());
+    return builder.LocalJoinAll(group);
+  };
+
+  if (jgr.groups.size() == 1) {
+    // The whole query is one local query (e.g. under Path-BMC).
+    result.plan = group_leaf(jgr.groups[0]);
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  GroupedJoinGraph grouped(jg, jgr.groups);
+  TdCmdCore<GroupedJoinGraph> core(
+      grouped, builder, TdCmdRules{},  // plain TD-CMD on the reduced graph
+      /*leaf_plan=*/
+      [&](int rel) { return group_leaf(grouped.GroupTps(rel)); },
+      /*is_local=*/
+      [&](TpSet rels) {
+        return inputs.local_index->IsLocal(grouped.ExpandTps(rels));
+      },
+      /*local_plan=*/
+      [&](TpSet rels) {
+        return builder.LocalJoinAll(grouped.ExpandTps(rels));
+      },
+      options.timeout_seconds);
+
+  result.plan = core.Run();
+  result.seconds = watch.ElapsedSeconds();
+  result.enumerated = core.stats().enumerated_cmds;
+  result.timed_out = core.stats().timed_out;
+  return result;
+}
+
+}  // namespace parqo

@@ -1,0 +1,20 @@
+// HGR-TD-CMD (Section IV-B): heuristic join-graph reduction followed by
+// full TD-CMD enumeration on the reduced graph. Collapsing local queries
+// into single vertices reduces both drivers of enumeration complexity —
+// the number of patterns and the join-variable degrees — while the plans
+// lost are exactly those that would split a cheap local region across
+// distributed joins.
+
+#ifndef PARQO_OPTIMIZER_HGR_TD_CMD_H_
+#define PARQO_OPTIMIZER_HGR_TD_CMD_H_
+
+#include "optimizer/optimizer.h"
+
+namespace parqo {
+
+OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
+                           const OptimizeOptions& options);
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_HGR_TD_CMD_H_

@@ -1,0 +1,93 @@
+#include "optimizer/join_graph_reduction.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace parqo {
+
+std::vector<TpSet> EnumerateConnectedSubqueries(const JoinGraph& jg,
+                                                TpSet within, int cap) {
+  std::vector<TpSet> out;
+  std::unordered_set<TpSet, TpSetHash> seen;
+  std::deque<TpSet> queue;
+  for (int tp : within) {
+    TpSet s = TpSet::Singleton(tp);
+    queue.push_back(s);
+    seen.insert(s);
+  }
+  while (!queue.empty() && static_cast<int>(out.size()) < cap) {
+    TpSet s = queue.front();
+    queue.pop_front();
+    out.push_back(s);
+    for (int tp : jg.NeighborsOf(s) & within) {
+      TpSet grown = s;
+      grown.Add(tp);
+      if (seen.insert(grown).second) queue.push_back(grown);
+    }
+  }
+  return out;
+}
+
+JgrResult ReduceJoinGraph(const JoinGraph& jg, const LocalQueryIndex& index,
+                          const CardinalityEstimator& estimator,
+                          int candidate_cap) {
+  JgrResult result;
+
+  // Candidate pool C: connected subqueries of each maximal local query,
+  // plus all singletons (which keeps the greedy total even when MLQs are
+  // too large to enumerate).
+  std::unordered_set<TpSet, TpSetHash> pool;
+  for (int tp = 0; tp < jg.num_tps(); ++tp) {
+    pool.insert(TpSet::Singleton(tp));
+  }
+  for (TpSet mlq : index.mlqs()) {
+    if (mlq.Count() <= 1) continue;
+    std::vector<TpSet> subs =
+        EnumerateConnectedSubqueries(jg, mlq, candidate_cap);
+    bool truncated = static_cast<int>(subs.size()) >= candidate_cap;
+    for (TpSet s : subs) pool.insert(s);
+    if (truncated) {
+      // Make sure the full MLQ itself (per connected component) stays
+      // available — it is often the best pick for large local regions.
+      for (TpSet comp : jg.Components(mlq)) pool.insert(comp);
+    }
+  }
+  result.candidates_considered = pool.size();
+
+  std::vector<TpSet> candidates(pool.begin(), pool.end());
+  std::vector<double> weight(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    weight[i] = estimator.Cardinality(candidates[i]);
+  }
+
+  // Greedy weighted set cover: minimize weight per newly covered pattern.
+  TpSet uncovered = jg.AllTps();
+  while (!uncovered.Empty()) {
+    int best = -1;
+    double best_ratio = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      int gain = (candidates[i] & uncovered).Count();
+      if (gain == 0) continue;
+      double ratio = weight[i] / gain;
+      if (best < 0 || ratio < best_ratio ||
+          (ratio == best_ratio &&
+           gain > (candidates[best] & uncovered).Count())) {
+        best = static_cast<int>(i);
+        best_ratio = ratio;
+      }
+    }
+    PARQO_CHECK(best >= 0);  // singletons guarantee progress
+    TpSet part = candidates[best] & uncovered;
+    uncovered -= part;
+    // Clipping may disconnect the pick; each component is still a subquery
+    // of the same local query, hence local (Lemma 4).
+    for (TpSet comp : jg.Components(part)) {
+      result.groups.push_back(comp);
+    }
+  }
+  return result;
+}
+
+}  // namespace parqo

@@ -1,0 +1,48 @@
+// The Join Graph Reduction (JGR) problem of Section IV-B, Definition 4:
+// cover the query's patterns with local queries so that the sum of the
+// covering queries' cardinalities is minimized, then collapse each chosen
+// local query into a single vertex of a reduced join graph. JGR is NP-hard
+// (Theorem 4, by reduction from weighted set cover), so we use the greedy
+// weighted set-cover heuristic with its ln(n) approximation guarantee.
+//
+// Candidates are the connected subqueries of the maximal local queries
+// (every subquery of a local query is local, Lemma 4), weighted by their
+// estimated cardinality. The greedy repeatedly takes the candidate with
+// the best cardinality-per-newly-covered-pattern ratio; overlapping picks
+// are made disjoint by clipping to the still-uncovered patterns and
+// splitting the clip into connected components (each still local).
+
+#ifndef PARQO_OPTIMIZER_JOIN_GRAPH_REDUCTION_H_
+#define PARQO_OPTIMIZER_JOIN_GRAPH_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tp_set.h"
+#include "partition/local_query_index.h"
+#include "query/join_graph.h"
+#include "stats/estimator.h"
+
+namespace parqo {
+
+struct JgrResult {
+  /// Disjoint, connected, local groups covering the whole query.
+  std::vector<TpSet> groups;
+  std::uint64_t candidates_considered = 0;
+};
+
+/// `candidate_cap` bounds the connected subqueries enumerated per maximal
+/// local query; past the cap only the MLQ itself and singletons are used.
+JgrResult ReduceJoinGraph(const JoinGraph& jg, const LocalQueryIndex& index,
+                          const CardinalityEstimator& estimator,
+                          int candidate_cap);
+
+/// Enumerates connected subqueries of `within` (BFS over the subset
+/// lattice), at most `cap`; smaller subqueries come first. Exposed for
+/// tests and for the star-worst-case analysis bench.
+std::vector<TpSet> EnumerateConnectedSubqueries(const JoinGraph& jg,
+                                                TpSet within, int cap);
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_JOIN_GRAPH_REDUCTION_H_

@@ -1,0 +1,29 @@
+// MSC baseline — the minimum-set-cover flat-plan optimizer of CliqueSquare
+// (Goasdoue et al., ICDE 2015; reference [6]), reimplemented from the
+// published description. The optimizer builds plans level by level: at
+// each level it forms the variable cliques of the current relations,
+// solves an exact MINIMUM SET COVER of the relations by cliques (NP-hard;
+// solved by iterative-deepening exhaustive search — this exponential step
+// is precisely the inefficiency Section III of the paper points out), and
+// joins each chosen clique with one k-way operator. Enumerating every
+// minimum cover at every level yields all "flattest" plans; the cheapest
+// by the shared cost model is returned.
+//
+// First-level joins over co-located base data run as local joins; all
+// higher joins are repartition joins — flat plans cannot exploit
+// broadcast joins, which is one reason they lose to bushier TD-CMD plans
+// (Section V-B).
+
+#ifndef PARQO_OPTIMIZER_MSC_H_
+#define PARQO_OPTIMIZER_MSC_H_
+
+#include "optimizer/optimizer.h"
+
+namespace parqo {
+
+OptimizeResult RunMsc(const OptimizerInputs& inputs,
+                      const OptimizeOptions& options);
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_MSC_H_

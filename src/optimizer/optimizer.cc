@@ -1,0 +1,54 @@
+#include "optimizer/optimizer.h"
+
+#include "common/status.h"
+#include "optimizer/dp_bushy.h"
+#include "optimizer/hgr_td_cmd.h"
+#include "optimizer/msc.h"
+#include "optimizer/td_auto.h"
+#include "optimizer/td_cmd.h"
+
+namespace parqo {
+
+std::string ToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kTdCmd: return "TD-CMD";
+    case Algorithm::kTdCmdp: return "TD-CMDP";
+    case Algorithm::kHgrTdCmd: return "HGR-TD-CMD";
+    case Algorithm::kTdAuto: return "TD-Auto";
+    case Algorithm::kMsc: return "MSC";
+    case Algorithm::kDpBushy: return "DP-Bushy";
+    case Algorithm::kBinaryDp: return "Binary-DP";
+  }
+  return "?";
+}
+
+OptimizeResult Optimize(Algorithm algorithm, const OptimizerInputs& inputs,
+                        const OptimizeOptions& options) {
+  PARQO_CHECK(inputs.join_graph != nullptr);
+  PARQO_CHECK(inputs.local_index != nullptr);
+  PARQO_CHECK(inputs.estimator != nullptr);
+  switch (algorithm) {
+    case Algorithm::kTdCmd:
+      return RunTdCmd(inputs, options, /*pruned=*/false);
+    case Algorithm::kTdCmdp:
+      return RunTdCmd(inputs, options, /*pruned=*/true);
+    case Algorithm::kHgrTdCmd:
+      return RunHgrTdCmd(inputs, options);
+    case Algorithm::kTdAuto:
+      return RunTdAuto(inputs, options);
+    case Algorithm::kMsc:
+      return RunMsc(inputs, options);
+    case Algorithm::kDpBushy:
+      return RunDpBushy(inputs, options);
+    case Algorithm::kBinaryDp: {
+      TdCmdRules rules;
+      rules.cmd_mode = CmdMode::kBinaryOnly;
+      OptimizeResult result = RunTdCmdWithRules(inputs, options, rules);
+      result.algorithm_used = Algorithm::kBinaryDp;
+      return result;
+    }
+  }
+  return OptimizeResult{};
+}
+
+}  // namespace parqo

@@ -1,0 +1,90 @@
+// Public entry point of the query optimizer. Bundles the per-query inputs
+// (join graph, query graph, partitioning-derived local-query index, and
+// cardinality estimator) and dispatches to one of the algorithms studied in
+// the paper:
+//
+//   kTdCmd     - Algorithm 1, full connected-multi-division space (Sec III)
+//   kTdCmdp    - TD-CMD + pruning Rules 1-3 (Sec IV-A)
+//   kHgrTdCmd  - join-graph reduction, then TD-CMD on the reduced graph
+//                (Sec IV-B)
+//   kTdAuto    - decision-tree dispatch between the above (Sec IV-C, Fig 5)
+//   kMsc       - CliqueSquare-style minimum-set-cover flat plans [6]
+//   kDpBushy   - Huang et al. generate-and-test bushy DP [7]
+//   kBinaryDp  - binary-only bushy DP (TriAD's plan space [8]; extension)
+
+#ifndef PARQO_OPTIMIZER_OPTIMIZER_H_
+#define PARQO_OPTIMIZER_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "partition/local_query_index.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+#include "query/query_graph.h"
+#include "stats/estimator.h"
+
+namespace parqo {
+
+enum class Algorithm {
+  kTdCmd,
+  kTdCmdp,
+  kHgrTdCmd,
+  kTdAuto,
+  kMsc,
+  kDpBushy,
+  /// Extension: binary bushy plans only (TriAD's plan space [8]); used by
+  /// the ablation bench to quantify the value of k-ary joins.
+  kBinaryDp,
+};
+
+std::string ToString(Algorithm algorithm);
+
+/// Everything an optimizer needs to know about one query. All pointers are
+/// borrowed and must outlive the call.
+struct OptimizerInputs {
+  const JoinGraph* join_graph = nullptr;
+  const QueryGraph* query_graph = nullptr;
+  const LocalQueryIndex* local_index = nullptr;
+  const CardinalityEstimator* estimator = nullptr;
+};
+
+struct OptimizeOptions {
+  CostParams cost_params;
+  /// Wall-clock budget, after which the algorithm gives up (the paper caps
+  /// runs at 600 s in Section V-C).
+  double timeout_seconds = 600.0;
+
+  /// TD-Auto thresholds (Figure 5; Section IV-C reports the values used
+  /// in the paper's experiments).
+  int theta_d = 5;    ///< max join-variable degree for plain TD-CMD.
+  int theta_n = 30;   ///< #patterns below which TD-CMDP handles high-degree.
+  int lambda_n = 14;  ///< #patterns below which TD-CMD handles dense.
+
+  /// HGR candidate-generation cap: connected subqueries enumerated per
+  /// maximal local query (see join_graph_reduction.h).
+  int hgr_candidate_cap = 4096;
+
+  /// MSC guard: maximum complete flat plans to materialize.
+  std::uint64_t msc_plan_cap = 200000;
+};
+
+struct OptimizeResult {
+  PlanNodePtr plan;  ///< Null if the algorithm timed out before any plan.
+  double seconds = 0;
+  /// Search-space size: join operators / plans enumerated (Table VII).
+  std::uint64_t enumerated = 0;
+  bool timed_out = false;
+  /// The algorithm that actually ran (differs from the request for
+  /// kTdAuto, which reports its decision-tree choice).
+  Algorithm algorithm_used = Algorithm::kTdCmd;
+};
+
+/// Runs the requested algorithm on one query.
+OptimizeResult Optimize(Algorithm algorithm, const OptimizerInputs& inputs,
+                        const OptimizeOptions& options);
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_OPTIMIZER_H_

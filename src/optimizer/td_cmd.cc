@@ -1,0 +1,46 @@
+#include "optimizer/td_cmd.h"
+
+#include "common/stopwatch.h"
+#include "optimizer/td_cmd_core.h"
+
+namespace parqo {
+
+OptimizeResult RunTdCmd(const OptimizerInputs& inputs,
+                        const OptimizeOptions& options, bool pruned) {
+  TdCmdRules rules;
+  if (pruned) {
+    rules.cmd_mode = CmdMode::kCcmdAndBinary;
+    rules.binary_broadcast_only = true;
+    rules.local_short_circuit = true;
+  }
+  OptimizeResult result = RunTdCmdWithRules(inputs, options, rules);
+  result.algorithm_used = pruned ? Algorithm::kTdCmdp : Algorithm::kTdCmd;
+  return result;
+}
+
+OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
+                                 const OptimizeOptions& options,
+                                 const TdCmdRules& rules) {
+  const JoinGraph& jg = *inputs.join_graph;
+  PlanBuilder builder(*inputs.estimator, CostModel(options.cost_params));
+
+  Stopwatch watch;
+  TdCmdCore<JoinGraph> core(
+      jg, builder, rules,
+      /*leaf_plan=*/[&](int tp) { return builder.Scan(tp); },
+      /*is_local=*/
+      [&](TpSet q) { return inputs.local_index->IsLocal(q); },
+      /*local_plan=*/[&](TpSet q) { return builder.LocalJoinAll(q); },
+      options.timeout_seconds);
+  PlanNodePtr plan = core.Run();
+
+  OptimizeResult result;
+  result.plan = plan;
+  result.seconds = watch.ElapsedSeconds();
+  result.enumerated = core.stats().enumerated_cmds;
+  result.timed_out = core.stats().timed_out;
+  result.algorithm_used = Algorithm::kTdCmd;
+  return result;
+}
+
+}  // namespace parqo

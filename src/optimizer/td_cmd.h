@@ -1,0 +1,24 @@
+// TD-CMD and TD-CMDP (Sections III and IV-A): Algorithm 1 instantiated on
+// the raw join graph, with triple-pattern scans as leaves.
+
+#ifndef PARQO_OPTIMIZER_TD_CMD_H_
+#define PARQO_OPTIMIZER_TD_CMD_H_
+
+#include "optimizer/optimizer.h"
+#include "optimizer/td_cmd_core.h"
+
+namespace parqo {
+
+/// `pruned` selects TD-CMDP (Rules 1-3) instead of plain TD-CMD.
+OptimizeResult RunTdCmd(const OptimizerInputs& inputs,
+                        const OptimizeOptions& options, bool pruned);
+
+/// Ablation entry point: run Algorithm 1 with an arbitrary combination of
+/// the Section IV-A pruning rules (see bench/bench_ablation.cc).
+OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
+                                 const OptimizeOptions& options,
+                                 const TdCmdRules& rules);
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_TD_CMD_H_

@@ -1,0 +1,159 @@
+// Top-down join enumeration with memoization — Algorithm 1 of the paper.
+//
+// GetBestPlan recursively finds the cheapest k-ary bushy plan of a
+// (sub)query: it enumerates the connected multi-divisions (each cmd is one
+// candidate k-way join), recursively optimizes every part, builds broadcast
+// and repartition variants of the operator, and keeps the cheapest plan in
+// a memo table keyed by the subquery bitset. Local queries additionally get
+// the single-operator local-join plan (line 10); with Rule 3 (TD-CMDP) the
+// local plan short-circuits the enumeration entirely.
+//
+// The core is a template over the Graph concept (JoinGraph or
+// GroupedJoinGraph) and parameterized by hooks mapping graph elements to
+// plans, which is what lets the identical code drive TD-CMD, TD-CMDP, and
+// the reduced-graph phase of HGR-TD-CMD — and, with relations instead of
+// triple patterns, relational multi-way join ordering.
+
+#ifndef PARQO_OPTIMIZER_TD_CMD_CORE_H_
+#define PARQO_OPTIMIZER_TD_CMD_CORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/tp_set.h"
+#include "optimizer/cmd_enumerator.h"
+#include "plan/plan.h"
+
+namespace parqo {
+
+/// Search-space knobs. TD-CMD uses the defaults; TD-CMDP enables all three
+/// pruning rules of Section IV-A.
+struct TdCmdRules {
+  CmdMode cmd_mode = CmdMode::kAll;   ///< Rule 1 when kCcmdAndBinary.
+  bool binary_broadcast_only = false; ///< Rule 2.
+  bool local_short_circuit = false;   ///< Rule 3.
+  /// Memo-table ceiling: a backstop against exhausting memory on huge
+  /// dense queries before the wall-clock timeout fires (treated exactly
+  /// like a timeout). ~4M entries is a few hundred MB of plans.
+  std::size_t memo_cap = std::size_t{1} << 22;
+};
+
+struct TdCmdStats {
+  std::uint64_t enumerated_cmds = 0;  ///< Table VII's search-space size.
+  std::uint64_t memo_entries = 0;
+  bool timed_out = false;
+};
+
+template <typename Graph>
+class TdCmdCore {
+ public:
+  /// `leaf_plan(i)` supplies the plan of single relation i. `is_local(s)`
+  /// answers whether relation set s is a local query, and `local_plan(s)`
+  /// builds its one-operator local plan (|s| >= 2).
+  TdCmdCore(const Graph& graph, const PlanBuilder& builder, TdCmdRules rules,
+            std::function<PlanNodePtr(int)> leaf_plan,
+            std::function<bool(TpSet)> is_local,
+            std::function<PlanNodePtr(TpSet)> local_plan,
+            double timeout_seconds = 600.0)
+      : graph_(graph),
+        builder_(builder),
+        rules_(rules),
+        leaf_plan_(std::move(leaf_plan)),
+        is_local_(std::move(is_local)),
+        local_plan_(std::move(local_plan)),
+        timeout_seconds_(timeout_seconds) {}
+
+  /// Optimizes the full query. Returns nullptr on timeout.
+  PlanNodePtr Run() {
+    stopwatch_.Restart();
+    aborted_ = false;
+    PlanNodePtr plan = GetBestPlan(graph_.AllTps(), /*is_local=*/false);
+    stats_.memo_entries = memo_.size();
+    stats_.timed_out = aborted_;
+    return aborted_ ? nullptr : plan;
+  }
+
+  const TdCmdStats& stats() const { return stats_; }
+
+ private:
+  bool CheckDeadline() {
+    if (aborted_) return false;
+    if ((++deadline_probe_ & 0x3ff) == 0 &&
+        (stopwatch_.ElapsedSeconds() > timeout_seconds_ ||
+         memo_.size() > rules_.memo_cap)) {
+      aborted_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  PlanNodePtr GetBestPlan(TpSet q, bool is_local) {
+    auto it = memo_.find(q);
+    if (it != memo_.end()) return it->second;
+    if (!is_local) is_local = is_local_(q);
+    PlanNodePtr plan = BestPlanGen(q, is_local);
+    if (!aborted_) memo_.emplace(q, plan);
+    return plan;
+  }
+
+  PlanNodePtr BestPlanGen(TpSet q, bool is_local) {
+    if (q.Count() == 1) return leaf_plan_(q.First());
+
+    PlanNodePtr best;
+    if (is_local) {
+      best = local_plan_(q);
+      if (rules_.local_short_circuit) return best;  // Rule 3
+    }
+
+    std::vector<PlanNodePtr> children;
+    EnumerateCmds(
+        graph_, q, rules_.cmd_mode,
+        [&](std::span<const TpSet> parts, VarId vj) {
+          ++stats_.enumerated_cmds;
+          if (!CheckDeadline()) return false;
+
+          children.clear();
+          for (TpSet part : parts) {
+            children.push_back(GetBestPlan(part, is_local));
+            if (aborted_) return false;
+          }
+          // Line 15-19: try each distributed join algorithm on this cmd.
+          bool broadcast_ok =
+              !rules_.binary_broadcast_only || parts.size() == 2;  // Rule 2
+          if (broadcast_ok) {
+            PlanNodePtr cand =
+                builder_.Join(JoinMethod::kBroadcast, vj, children);
+            if (!best || cand->total_cost < best->total_cost) best = cand;
+          }
+          PlanNodePtr cand =
+              builder_.Join(JoinMethod::kRepartition, vj, children);
+          if (!best || cand->total_cost < best->total_cost) best = cand;
+          return true;
+        });
+    return best;
+  }
+
+  const Graph& graph_;
+  const PlanBuilder& builder_;
+  TdCmdRules rules_;
+  std::function<PlanNodePtr(int)> leaf_plan_;
+  std::function<bool(TpSet)> is_local_;
+  std::function<PlanNodePtr(TpSet)> local_plan_;
+  double timeout_seconds_;
+
+  Stopwatch stopwatch_;
+  std::uint64_t deadline_probe_ = 0;
+  bool aborted_ = false;
+  TdCmdStats stats_;
+  std::unordered_map<TpSet, PlanNodePtr, TpSetHash> memo_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_TD_CMD_CORE_H_

@@ -1,0 +1,35 @@
+#include "partition/hash_so.h"
+
+namespace parqo {
+
+int HashToNode(TermId id, int n) {
+  std::uint64_t x = id;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(n));
+}
+
+PartitionAssignment HashSoPartitioner::PartitionData(const RdfGraph& graph,
+                                                     int n) const {
+  PartitionAssignment out;
+  out.num_nodes = n;
+  out.node_triples.resize(n);
+  const auto& triples = graph.triples();
+  for (TripleIdx i = 0; i < triples.size(); ++i) {
+    int ns = HashToNode(triples[i].s, n);
+    int no = HashToNode(triples[i].o, n);
+    out.node_triples[ns].push_back(i);
+    if (no != ns) out.node_triples[no].push_back(i);
+  }
+  return out;
+}
+
+TpSet HashSoPartitioner::MaximalLocalQuery(const QueryGraph& gq,
+                                           int vertex) const {
+  return gq.vertex(vertex).IncidentTps();
+}
+
+}  // namespace parqo

@@ -1,0 +1,25 @@
+// Hash partitioning on both the subject and the object of each triple
+// ("Hash-SO", Section V-A). In the generic model: combine(v) gathers all
+// triples incident to v (subject or object) and distribute hashes v.
+// Consequently a subquery is local iff all its patterns share one vertex
+// (Example 7) — stars are local, which is what the MSC and DP-Bushy
+// optimizers implicitly assume.
+
+#ifndef PARQO_PARTITION_HASH_SO_H_
+#define PARQO_PARTITION_HASH_SO_H_
+
+#include "partition/partitioner.h"
+
+namespace parqo {
+
+class HashSoPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "hash-so"; }
+  PartitionAssignment PartitionData(const RdfGraph& graph,
+                                    int n) const override;
+  TpSet MaximalLocalQuery(const QueryGraph& gq, int vertex) const override;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_PARTITION_HASH_SO_H_

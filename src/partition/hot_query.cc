@@ -1,0 +1,97 @@
+#include "partition/hot_query.h"
+
+#include <algorithm>
+
+#include "query/match.h"
+#include "query/join_graph.h"
+
+namespace parqo {
+namespace {
+
+// Does query pattern `q` structurally embed into hot pattern `h`?
+// Positions where `h` is constant must match exactly; where `h` is a
+// variable, `q` may have anything (a constant is a specialization).
+bool PatternEmbeds(const TriplePattern& q, const TriplePattern& h) {
+  auto pos = [](const PatternTerm& qt, const PatternTerm& ht) {
+    if (!ht.IsVar()) return !qt.IsVar() && qt.term == ht.term;
+    return true;
+  };
+  return pos(q.s, h.s) && pos(q.p, h.p) && pos(q.o, h.o);
+}
+
+}  // namespace
+
+TpSet HotQueryIntersection(const QueryGraph& gq,
+                           const std::vector<TriplePattern>& hot,
+                           int vertex) {
+  const JoinGraph& jg = gq.join_graph();
+  TpSet candidates;
+  for (int tp = 0; tp < jg.num_tps(); ++tp) {
+    for (const TriplePattern& h : hot) {
+      if (PatternEmbeds(jg.pattern(tp), h)) {
+        candidates.Add(tp);
+        break;
+      }
+    }
+  }
+  // Condition (2): anchored at the vertex.
+  TpSet incident = gq.vertex(vertex).IncidentTps();
+  if (!candidates.Intersects(incident)) return TpSet{};
+  // Condition (1): connected; keep the component containing the vertex.
+  int seed = (candidates & incident).First();
+  return jg.ComponentOf(seed, candidates);
+}
+
+HotQueryPartitioner::HotQueryPartitioner(
+    const Partitioner& base,
+    std::vector<std::vector<TriplePattern>> hot_queries)
+    : base_(&base), hot_queries_(std::move(hot_queries)) {}
+
+std::string HotQueryPartitioner::name() const {
+  return base_->name() + "+hot";
+}
+
+PartitionAssignment HotQueryPartitioner::PartitionData(
+    const RdfGraph& graph, int n) const {
+  PartitionAssignment out = base_->PartitionData(graph, n);
+
+  // Index triples for back-translation of match subgraphs.
+  // (The triple array is sorted and deduplicated by construction.)
+  const auto& triples = graph.triples();
+  auto index_of = [&](const Triple& t) -> TripleIdx {
+    auto it = std::lower_bound(triples.begin(), triples.end(), t);
+    return static_cast<TripleIdx>(it - triples.begin());
+  };
+
+  constexpr std::size_t kMatchCap = 1u << 17;
+  for (const auto& hot : hot_queries_) {
+    JoinGraph jg(hot);
+    for (const BgpMatch& match : MatchBgp(jg, graph, kMatchCap)) {
+      // Co-locate the whole match subgraph at the node chosen by the
+      // first binding (the run-time system's anchor).
+      int node = HashToNode(match.bindings.empty() ? TermId{1}
+                                                   : match.bindings[0],
+                            n);
+      for (const Triple& t : match.triples) {
+        out.node_triples[node].push_back(index_of(t));
+      }
+    }
+  }
+  for (auto& bucket : out.node_triples) {
+    std::sort(bucket.begin(), bucket.end());
+    bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+  }
+  return out;
+}
+
+TpSet HotQueryPartitioner::MaximalLocalQuery(const QueryGraph& gq,
+                                             int vertex) const {
+  TpSet best = base_->MaximalLocalQuery(gq, vertex);
+  for (const auto& hot : hot_queries_) {
+    TpSet candidate = HotQueryIntersection(gq, hot, vertex);
+    if (candidate.Count() > best.Count()) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace parqo

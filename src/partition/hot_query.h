@@ -1,0 +1,57 @@
+// Dynamic (hot-query-aware) partitioning — the extension the paper's
+// appendix sketches for run-time repartitioning systems such as
+// AdPart [45] and [5]. A base static partitioner is augmented with a
+// list of "hot" queries whose matches the system has re-co-located:
+//
+//   * query side (appendix B): the maximal local query at a query vertex
+//     v is the larger of combine(v, G_Q) and any connected intersection
+//     between the query and a hot query that touches v;
+//   * data side: on top of the base assignment, every concrete match
+//     subgraph of each hot query is replicated onto one node.
+//
+// Caveat (inherent to the appendix's scheme, documented here rather than
+// hidden): a *strict* sub-pattern of a hot query is only guaranteed local
+// for matches that extend to a full hot-query match. Real adaptive
+// engines handle misses by falling back to distributed execution; this
+// model is therefore intended for optimizer studies and for workloads
+// where queries embed entire hot queries (which execution tests cover).
+
+#ifndef PARQO_PARTITION_HOT_QUERY_H_
+#define PARQO_PARTITION_HOT_QUERY_H_
+
+#include <memory>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "sparql/query.h"
+
+namespace parqo {
+
+class HotQueryPartitioner : public Partitioner {
+ public:
+  /// `base` must outlive this object. Each hot query is a set of triple
+  /// patterns (a BGP).
+  HotQueryPartitioner(const Partitioner& base,
+                      std::vector<std::vector<TriplePattern>> hot_queries);
+
+  std::string name() const override;
+  PartitionAssignment PartitionData(const RdfGraph& graph,
+                                    int n) const override;
+  TpSet MaximalLocalQuery(const QueryGraph& gq, int vertex) const override;
+
+ private:
+  const Partitioner* base_;
+  std::vector<std::vector<TriplePattern>> hot_queries_;
+};
+
+/// The connected set of `gq` patterns that structurally embed into the
+/// hot query `hot` (constants must match where `hot` has constants;
+/// variables are positional wildcards), restricted to the component
+/// containing `vertex`. Exposed for tests.
+TpSet HotQueryIntersection(const QueryGraph& gq,
+                           const std::vector<TriplePattern>& hot,
+                           int vertex);
+
+}  // namespace parqo
+
+#endif  // PARQO_PARTITION_HOT_QUERY_H_

@@ -1,0 +1,46 @@
+#include "partition/local_query_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parqo {
+
+LocalQueryIndex::LocalQueryIndex(const QueryGraph& gq,
+                                 const Partitioner& partitioner) {
+  mlqs_.reserve(gq.num_vertices());
+  for (int v = 0; v < gq.num_vertices(); ++v) {
+    TpSet mlq = partitioner.MaximalLocalQuery(gq, v);
+    if (!mlq.Empty()) mlqs_.push_back(mlq);
+  }
+  Minimize();
+}
+
+LocalQueryIndex::LocalQueryIndex(std::vector<TpSet> mlqs)
+    : mlqs_(std::move(mlqs)) {
+  Minimize();
+}
+
+LocalQueryIndex LocalQueryIndex::None(int /*num_tps*/) {
+  return LocalQueryIndex(std::vector<TpSet>{});
+}
+
+void LocalQueryIndex::Minimize() {
+  // Drop MLQs contained in another MLQ; they cannot change IsLocal().
+  std::sort(mlqs_.begin(), mlqs_.end(), [](TpSet a, TpSet b) {
+    return a.Count() > b.Count();
+  });
+  std::vector<TpSet> kept;
+  for (TpSet m : mlqs_) {
+    bool dominated = false;
+    for (TpSet k : kept) {
+      if (m.IsSubsetOf(k)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(m);
+  }
+  mlqs_ = std::move(kept);
+}
+
+}  // namespace parqo

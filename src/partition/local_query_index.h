@@ -1,0 +1,50 @@
+// The local-query check of Section III-B / Appendix A. At optimizer
+// startup the maximal local query M_LQ_v = combine(v, G_Q) is computed for
+// every query-graph vertex; afterwards "is subquery SQ local?" is a bitset
+// containment test against each MLQ — Theta(|V_Q|) worst case, Theta(1)
+// per test (Theorem 5).
+
+#ifndef PARQO_PARTITION_LOCAL_QUERY_INDEX_H_
+#define PARQO_PARTITION_LOCAL_QUERY_INDEX_H_
+
+#include <vector>
+
+#include "common/tp_set.h"
+#include "partition/partitioner.h"
+#include "query/query_graph.h"
+
+namespace parqo {
+
+class LocalQueryIndex {
+ public:
+  /// Computes combine(v, G_Q) for every vertex of the query graph.
+  LocalQueryIndex(const QueryGraph& gq, const Partitioner& partitioner);
+
+  /// Direct construction from MLQ bitsets (tests, custom models).
+  explicit LocalQueryIndex(std::vector<TpSet> mlqs);
+
+  /// An index under which nothing (beyond single patterns) is local.
+  static LocalQueryIndex None(int num_tps);
+
+  /// True iff the (connected) subquery is a local query: it is contained
+  /// in some maximal local query (Theorem 5). Singletons are always local.
+  bool IsLocal(TpSet sq) const {
+    if (sq.Count() <= 1) return true;
+    for (TpSet mlq : mlqs_) {
+      if (sq.IsSubsetOf(mlq)) return true;
+    }
+    return false;
+  }
+
+  /// Deduplicated, maximal-only MLQ bitsets.
+  const std::vector<TpSet>& mlqs() const { return mlqs_; }
+
+ private:
+  void Minimize();
+
+  std::vector<TpSet> mlqs_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_PARTITION_LOCAL_QUERY_INDEX_H_

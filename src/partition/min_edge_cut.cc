@@ -1,0 +1,94 @@
+#include "partition/min_edge_cut.h"
+
+#include <deque>
+#include <vector>
+
+namespace parqo {
+
+PartitionAssignment MinEdgeCutPartitioner::PartitionData(
+    const RdfGraph& graph, int n) const {
+  PartitionAssignment out;
+  out.num_nodes = n;
+  out.node_triples.resize(n);
+
+  const auto& vertices = graph.vertices();
+  const std::size_t id_bound = graph.dict().IdUpperBound();
+  std::vector<int> part(id_bound, -1);
+  const std::size_t capacity = vertices.size() / n + 1;
+  std::vector<std::size_t> filled(n, 0);
+
+  // Round-robin BFS growth from evenly spaced seeds: each part absorbs one
+  // frontier vertex per turn until it reaches capacity, which yields
+  // balanced, locality-preserving parts (a light-weight METIS stand-in).
+  std::vector<std::deque<TermId>> frontier(n);
+  std::size_t next_seed = 0;
+  auto take_seed = [&](int p) {
+    while (next_seed < vertices.size()) {
+      TermId v = vertices[next_seed++];
+      if (part[v] == -1) {
+        frontier[p].push_back(v);
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int p = 0; p < n; ++p) take_seed(p);
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int p = 0; p < n; ++p) {
+      if (filled[p] >= capacity) continue;
+      // Pop until an unassigned vertex or an empty frontier.
+      TermId v = 0;
+      bool found = false;
+      while (!frontier[p].empty()) {
+        v = frontier[p].front();
+        frontier[p].pop_front();
+        if (part[v] == -1) {
+          found = true;
+          break;
+        }
+      }
+      if (!found && !take_seed(p)) continue;
+      if (!found) {
+        v = frontier[p].front();
+        frontier[p].pop_front();
+        if (part[v] != -1) {
+          progress = true;  // seed was taken by another part meanwhile
+          continue;
+        }
+      }
+      part[v] = p;
+      ++filled[p];
+      progress = true;
+      for (TripleIdx e : graph.OutEdges(v)) {
+        TermId o = graph.triples()[e].o;
+        if (part[o] == -1) frontier[p].push_back(o);
+      }
+      for (TripleIdx e : graph.InEdges(v)) {
+        TermId s = graph.triples()[e].s;
+        if (part[s] == -1) frontier[p].push_back(s);
+      }
+    }
+  }
+
+  // The 1-hop guarantee: a triple is stored wherever either endpoint lives.
+  const auto& triples = graph.triples();
+  for (TripleIdx i = 0; i < triples.size(); ++i) {
+    int ps = part[triples[i].s];
+    int po = part[triples[i].o];
+    if (ps < 0) ps = HashToNode(triples[i].s, n);
+    if (po < 0) po = HashToNode(triples[i].o, n);
+    out.node_triples[ps].push_back(i);
+    if (po != ps) out.node_triples[po].push_back(i);
+  }
+  return out;
+}
+
+TpSet MinEdgeCutPartitioner::MaximalLocalQuery(const QueryGraph& gq,
+                                               int vertex) const {
+  return gq.vertex(vertex).IncidentTps();
+}
+
+}  // namespace parqo

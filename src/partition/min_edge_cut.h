@@ -1,0 +1,26 @@
+// Undirected 1-hop guarantee partitioning in the style of Huang, Abadi &
+// Ren's "un-one-hop" (reference [4]; Example 2): combine(v) gathers all
+// triples incident to v, distribute is a balanced graph partitioner that
+// tries to minimize cut edges. The paper's prototype uses METIS; we
+// substitute a deterministic multi-seed BFS growth (documented in
+// DESIGN.md) — the optimizer-visible behavior (which queries are local)
+// is identical because it depends only on combine.
+
+#ifndef PARQO_PARTITION_MIN_EDGE_CUT_H_
+#define PARQO_PARTITION_MIN_EDGE_CUT_H_
+
+#include "partition/partitioner.h"
+
+namespace parqo {
+
+class MinEdgeCutPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "min-edge-cut"; }
+  PartitionAssignment PartitionData(const RdfGraph& graph,
+                                    int n) const override;
+  TpSet MaximalLocalQuery(const QueryGraph& gq, int vertex) const override;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_PARTITION_MIN_EDGE_CUT_H_

@@ -1,0 +1,132 @@
+#include "partition/path_bmc.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace parqo {
+namespace {
+
+// Forward-reachable triple indexes from `v`, capped to keep pathological
+// graphs bounded (the cap is far above anything our generators produce).
+// Vertices visited along the way are recorded in `reached` — any vertex
+// reachable from an anchor has its own forward cone contained in the
+// anchor's cone, which is what the locality contract needs.
+std::vector<TripleIdx> ForwardCone(const RdfGraph& graph, TermId v,
+                                   std::size_t cap,
+                                   std::vector<bool>* visited_scratch,
+                                   std::vector<TermId>* touched_scratch,
+                                   std::vector<bool>* reached) {
+  std::vector<TripleIdx> cone;
+  std::vector<TermId> frontier{v};
+  (*visited_scratch)[v] = true;
+  touched_scratch->push_back(v);
+  while (!frontier.empty() && cone.size() < cap) {
+    std::vector<TermId> next;
+    for (TermId u : frontier) {
+      for (TripleIdx e : graph.OutEdges(u)) {
+        cone.push_back(e);
+        TermId o = graph.triples()[e].o;
+        if (!(*visited_scratch)[o]) {
+          (*visited_scratch)[o] = true;
+          touched_scratch->push_back(o);
+          next.push_back(o);
+        }
+        if (cone.size() >= cap) break;
+      }
+      if (cone.size() >= cap) break;
+    }
+    frontier = std::move(next);
+  }
+  for (TermId u : *touched_scratch) {
+    (*visited_scratch)[u] = false;
+    if (reached != nullptr) (*reached)[u] = true;
+  }
+  touched_scratch->clear();
+  return cone;
+}
+
+}  // namespace
+
+PartitionAssignment PathBmcPartitioner::PartitionData(const RdfGraph& graph,
+                                                      int n) const {
+  PartitionAssignment out;
+  out.num_nodes = n;
+  out.node_triples.resize(n);
+
+  constexpr std::size_t kConeCap = 1u << 20;
+
+  const std::size_t id_bound = graph.dict().IdUpperBound();
+  std::vector<bool> visited(id_bound, false);
+  std::vector<TermId> touched;
+  // reached[v]: v lies inside some anchor's cone, so cone(v) is stored
+  // intact on that anchor's node.
+  std::vector<bool> reached(id_bound, false);
+
+  // Elements are anchored at source vertices (no incoming edges); cyclic
+  // regions with no source get representative anchors afterwards.
+  std::vector<std::pair<TermId, std::size_t>> anchors;  // (vertex, size)
+  for (TermId v : graph.vertices()) {
+    if (graph.InDegree(v) == 0 && graph.OutDegree(v) > 0) {
+      anchors.emplace_back(v, 0);
+    }
+  }
+  // First pass: size the source cones and record reachability.
+  for (auto& [v, size] : anchors) {
+    size =
+        ForwardCone(graph, v, kConeCap, &visited, &touched, &reached).size();
+  }
+  // Cover source-less strongly-connected regions: any still-unreached
+  // vertex with out-edges becomes an anchor (its cone then contains the
+  // whole cycle it sits on).
+  for (TermId v : graph.vertices()) {
+    if (!reached[v] && graph.OutDegree(v) > 0) {
+      std::size_t size =
+          ForwardCone(graph, v, kConeCap, &visited, &touched, &reached)
+              .size();
+      anchors.emplace_back(v, size);
+    }
+  }
+
+  // Second pass: assign the largest elements to the least-loaded node
+  // (greedy merge in the spirit of Path-BM's bottom-up merging).
+  std::sort(anchors.begin(), anchors.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::size_t> load(n, 0);
+  std::vector<bool> covered(graph.NumTriples(), false);
+  for (const auto& [v, size] : anchors) {
+    int best = 0;
+    for (int i = 1; i < n; ++i) {
+      if (load[i] < load[best]) best = i;
+    }
+    std::vector<TripleIdx> cone =
+        ForwardCone(graph, v, kConeCap, &visited, &touched, nullptr);
+    for (TripleIdx e : cone) covered[e] = true;
+    std::sort(cone.begin(), cone.end());
+    cone.erase(std::unique(cone.begin(), cone.end()), cone.end());
+    auto& bucket = out.node_triples[best];
+    bucket.insert(bucket.end(), cone.begin(), cone.end());
+    load[best] += cone.size();
+  }
+
+  // Safety net: any triple in no cone at all (possible only under the
+  // cone cap) falls back to hash placement so coverage stays total.
+  for (TripleIdx i = 0; i < graph.NumTriples(); ++i) {
+    if (!covered[i]) {
+      int node = HashToNode(graph.triples()[i].s, n);
+      out.node_triples[node].push_back(i);
+    }
+  }
+  // A node may have received overlapping elements; deduplicate per node.
+  for (auto& bucket : out.node_triples) {
+    std::sort(bucket.begin(), bucket.end());
+    bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+  }
+  return out;
+}
+
+TpSet PathBmcPartitioner::MaximalLocalQuery(const QueryGraph& gq,
+                                            int vertex) const {
+  return gq.ForwardReachableTps(vertex, /*max_hops=*/-1);
+}
+
+}  // namespace parqo

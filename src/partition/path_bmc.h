@@ -1,0 +1,31 @@
+// Path partitioning ("Path-BMC") of Wu et al., ICDE 2015 (reference [2];
+// Example 2). In the generic model, combine(v) for a start vertex v
+// assembles every triple forward-reachable from v (the union of all
+// end-to-end paths starting at v) and distribute merges elements onto
+// nodes bottom-up to balance load and limit duplication.
+//
+// Our distribute substitutes the paper's bottom-up merge with a greedy
+// least-loaded assignment of elements (largest first), which preserves the
+// property the optimizer cares about: all triples of an element are
+// co-located, so any query contained in a forward-reachability cone is
+// local. Triples in no element (vertices unreachable from any source, e.g.
+// pure cycles) fall back to hash placement so coverage is total.
+
+#ifndef PARQO_PARTITION_PATH_BMC_H_
+#define PARQO_PARTITION_PATH_BMC_H_
+
+#include "partition/partitioner.h"
+
+namespace parqo {
+
+class PathBmcPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "path-bmc"; }
+  PartitionAssignment PartitionData(const RdfGraph& graph,
+                                    int n) const override;
+  TpSet MaximalLocalQuery(const QueryGraph& gq, int vertex) const override;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_PARTITION_PATH_BMC_H_

@@ -1,0 +1,43 @@
+#include "partition/two_hop.h"
+
+#include <vector>
+
+namespace parqo {
+
+PartitionAssignment TwoHopForwardPartitioner::PartitionData(
+    const RdfGraph& graph, int n) const {
+  PartitionAssignment out;
+  out.num_nodes = n;
+  out.node_triples.resize(n);
+  const auto& triples = graph.triples();
+
+  // Scratch bitmap over nodes, reused per triple to deduplicate targets.
+  std::vector<bool> target(n, false);
+  std::vector<int> touched;
+  for (TripleIdx i = 0; i < triples.size(); ++i) {
+    const Triple& t = triples[i];
+    auto add = [&](int node) {
+      if (!target[node]) {
+        target[node] = true;
+        touched.push_back(node);
+        out.node_triples[node].push_back(i);
+      }
+    };
+    // 1 hop: element of the subject itself.
+    add(HashToNode(t.s, n));
+    // 2nd hop: element of every vertex with an edge into t.s.
+    for (TripleIdx e : graph.InEdges(t.s)) {
+      add(HashToNode(triples[e].s, n));
+    }
+    for (int node : touched) target[node] = false;
+    touched.clear();
+  }
+  return out;
+}
+
+TpSet TwoHopForwardPartitioner::MaximalLocalQuery(const QueryGraph& gq,
+                                                  int vertex) const {
+  return gq.ForwardReachableTps(vertex, /*max_hops=*/2);
+}
+
+}  // namespace parqo

@@ -1,0 +1,25 @@
+// The 2-hop forward semantic hash partitioning ("2f") of Lee & Liu,
+// VLDB 2014 (reference [3] of the paper; Example 2). combine(v) assembles
+// all edges within 2-hop forward distance of v; distribute hashes v.
+// A triple (s, p, o) therefore lands on hash(s) and on hash(u) for every
+// in-neighbor u of s. Queries contained in a 2-hop forward cone of some
+// vertex become local.
+
+#ifndef PARQO_PARTITION_TWO_HOP_H_
+#define PARQO_PARTITION_TWO_HOP_H_
+
+#include "partition/partitioner.h"
+
+namespace parqo {
+
+class TwoHopForwardPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "2f"; }
+  PartitionAssignment PartitionData(const RdfGraph& graph,
+                                    int n) const override;
+  TpSet MaximalLocalQuery(const QueryGraph& gq, int vertex) const override;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_PARTITION_TWO_HOP_H_

@@ -1,0 +1,120 @@
+#include "plan/export.h"
+
+#include <cstdio>
+
+namespace parqo {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string NodeLabel(const PlanNode& node, const JoinGraph& jg) {
+  char buf[160];
+  if (node.kind == PlanNode::Kind::kScan) {
+    std::snprintf(buf, sizeof(buf), "scan tp%d\\ncard=%.3g", node.tp,
+                  node.cardinality);
+    return buf;
+  }
+  std::string method = ToString(node.method);
+  std::string var = node.join_var == kInvalidVarId
+                        ? ""
+                        : "\\non ?" + jg.var_name(node.join_var);
+  std::snprintf(buf, sizeof(buf),
+                "%d-way %s join%s\\ncard=%.3g cost=%.3g",
+                static_cast<int>(node.children.size()), method.c_str(),
+                var.c_str(), node.cardinality, node.total_cost);
+  return buf;
+}
+
+int EmitDot(const PlanNode& node, const JoinGraph& jg, int* next_id,
+            std::string* out) {
+  int id = (*next_id)++;
+  const char* shape =
+      node.kind == PlanNode::Kind::kScan ? "box" : "ellipse";
+  const char* color = "black";
+  if (node.kind == PlanNode::Kind::kJoin) {
+    switch (node.method) {
+      case JoinMethod::kLocal: color = "darkgreen"; break;
+      case JoinMethod::kBroadcast: color = "blue"; break;
+      case JoinMethod::kRepartition: color = "red"; break;
+    }
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  n%d [shape=%s, color=%s, label=\"%s\"];\n", id, shape,
+                color, NodeLabel(node, jg).c_str());
+  *out += buf;
+  for (const PlanNodePtr& c : node.children) {
+    int child = EmitDot(*c, jg, next_id, out);
+    std::snprintf(buf, sizeof(buf), "  n%d -> n%d;\n", id, child);
+    *out += buf;
+  }
+  return id;
+}
+
+void EmitJson(const PlanNode& node, const JoinGraph& jg,
+              std::string* out) {
+  char buf[128];
+  if (node.kind == PlanNode::Kind::kScan) {
+    *out += "{\"kind\":\"scan\",\"tp\":" + std::to_string(node.tp);
+    *out += ",\"pattern\":\"" +
+            EscapeJson(jg.pattern(node.tp).ToString()) + "\"";
+  } else {
+    *out += "{\"kind\":\"join\",\"method\":\"" + ToString(node.method) +
+            "\"";
+    if (node.join_var != kInvalidVarId) {
+      *out += ",\"var\":\"" + EscapeJson(jg.var_name(node.join_var)) +
+              "\"";
+    }
+  }
+  *out += ",\"tps\":[";
+  bool first = true;
+  for (int tp : node.tps) {
+    if (!first) *out += ",";
+    *out += std::to_string(tp);
+    first = false;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"cardinality\":%.17g,\"opCost\":%.17g,"
+                "\"totalCost\":%.17g",
+                node.cardinality, node.op_cost, node.total_cost);
+  *out += buf;
+  if (!node.children.empty()) {
+    *out += ",\"children\":[";
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) *out += ",";
+      EmitJson(*node.children[i], jg, out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string PlanToDot(const PlanNode& plan, const JoinGraph& jg) {
+  std::string out = "digraph plan {\n  rankdir=BT;\n";
+  int next_id = 0;
+  EmitDot(plan, jg, &next_id, &out);
+  out += "}\n";
+  return out;
+}
+
+std::string PlanToJson(const PlanNode& plan, const JoinGraph& jg) {
+  std::string out;
+  EmitJson(plan, jg, &out);
+  return out;
+}
+
+}  // namespace parqo

@@ -1,0 +1,26 @@
+// Plan serialization: Graphviz DOT for papers/docs and a line-oriented
+// JSON for tooling. Both are lossless views of the plan tree including
+// the estimator's cardinalities and the Eq. 3/4 cost breakdown.
+
+#ifndef PARQO_PLAN_EXPORT_H_
+#define PARQO_PLAN_EXPORT_H_
+
+#include <string>
+
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace parqo {
+
+/// Graphviz: one box per operator, labeled with the join method, join
+/// variable, covered patterns, and estimated cardinality/cost.
+std::string PlanToDot(const PlanNode& plan, const JoinGraph& jg);
+
+/// JSON object: {"kind": "scan"|"join", "method": ..., "var": ...,
+/// "tps": [...], "cardinality": ..., "opCost": ..., "totalCost": ...,
+/// "children": [...]}.
+std::string PlanToJson(const PlanNode& plan, const JoinGraph& jg);
+
+}  // namespace parqo
+
+#endif  // PARQO_PLAN_EXPORT_H_

@@ -1,0 +1,126 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace parqo {
+
+int PlanNode::NumJoinOps() const {
+  if (kind == Kind::kScan) return 0;
+  int n = 1;
+  for (const PlanNodePtr& c : children) n += c->NumJoinOps();
+  return n;
+}
+
+int PlanNode::JoinDepth() const {
+  if (kind == Kind::kScan) return 0;
+  int d = 0;
+  for (const PlanNodePtr& c : children) d = std::max(d, c->JoinDepth());
+  return d + 1;
+}
+
+PlanNodePtr PlanBuilder::Scan(int tp) const {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kScan;
+  node->tp = tp;
+  node->tps = TpSet::Singleton(tp);
+  node->cardinality = estimator_->Cardinality(node->tps);
+  node->op_cost = 0;
+  node->total_cost = 0;
+  return node;
+}
+
+PlanNodePtr PlanBuilder::Join(JoinMethod method, VarId join_var,
+                              std::vector<PlanNodePtr> children) const {
+  PARQO_CHECK(children.size() >= 2);
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kJoin;
+  node->method = method;
+  node->join_var = join_var;
+
+  std::vector<double> input_cards;
+  input_cards.reserve(children.size());
+  double max_child_cost = 0;
+  for (const PlanNodePtr& c : children) {
+    node->tps |= c->tps;
+    input_cards.push_back(c->cardinality);
+    max_child_cost = std::max(max_child_cost, c->total_cost);
+  }
+  node->cardinality = estimator_->Cardinality(node->tps);
+  node->op_cost =
+      cost_model_.JoinOpCost(method, input_cards, node->cardinality);
+  node->total_cost = max_child_cost + node->op_cost;  // Eq. 3
+  node->children = std::move(children);
+  return node;
+}
+
+PlanNodePtr PlanBuilder::LocalJoinAll(TpSet sq) const {
+  PARQO_CHECK(sq.Count() >= 2);
+  std::vector<PlanNodePtr> scans;
+  scans.reserve(sq.Count());
+  for (int tp : sq) scans.push_back(Scan(tp));
+  return Join(JoinMethod::kLocal, kInvalidVarId, std::move(scans));
+}
+
+namespace {
+
+char MethodLetter(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kLocal: return 'L';
+    case JoinMethod::kBroadcast: return 'B';
+    case JoinMethod::kRepartition: return 'R';
+  }
+  return '?';
+}
+
+void Render(const PlanNode& node, const JoinGraph& jg, int indent,
+            std::string* out) {
+  out->append(indent * 2, ' ');
+  if (node.kind == PlanNode::Kind::kScan) {
+    *out += "Scan tp" + std::to_string(node.tp) + " [" +
+            jg.pattern(node.tp).ToString() + "]";
+  } else {
+    *out += "Join";
+    *out += MethodLetter(node.method);
+    if (node.join_var != kInvalidVarId) {
+      *out += " on ?" + jg.var_name(node.join_var);
+    }
+    *out += " " + node.tps.ToString();
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  (card=%.3g, op=%.3g, total=%.3g)\n",
+                node.cardinality, node.op_cost, node.total_cost);
+  *out += buf;
+  for (const PlanNodePtr& c : node.children) {
+    Render(*c, jg, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanNode& plan, const JoinGraph& jg) {
+  std::string out;
+  Render(plan, jg, 0, &out);
+  return out;
+}
+
+std::string PlanToCompactString(const PlanNode& plan) {
+  if (plan.kind == PlanNode::Kind::kScan) {
+    return "tp" + std::to_string(plan.tp);
+  }
+  std::string out = "(";
+  for (std::size_t i = 0; i < plan.children.size(); ++i) {
+    if (i > 0) {
+      out += " *";
+      out += MethodLetter(plan.method);
+      out += " ";
+    }
+    out += PlanToCompactString(*plan.children[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace parqo

@@ -1,0 +1,88 @@
+// Physical query plans (Section II-D): labeled bushy trees whose leaves
+// scan the bindings of one triple pattern and whose inner nodes are k-way
+// (k >= 2) join operators labeled with a join algorithm. Plans are
+// immutable and shared: the memo table hands the same subplan to every
+// parent that uses it, so nodes are reference-counted and children are
+// const.
+
+#ifndef PARQO_PLAN_PLAN_H_
+#define PARQO_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/tp_set.h"
+#include "cost/cost_model.h"
+#include "query/join_graph.h"
+#include "stats/estimator.h"
+
+namespace parqo {
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<const PlanNode>;
+
+struct PlanNode {
+  enum class Kind { kScan, kJoin };
+
+  Kind kind = Kind::kScan;
+  /// The triple patterns this subtree covers.
+  TpSet tps;
+
+  // --- kScan ---
+  int tp = -1;  ///< Pattern index.
+
+  // --- kJoin ---
+  JoinMethod method = JoinMethod::kLocal;
+  /// The connected multi-division's join variable; kInvalidVarId for local
+  /// joins, which join whole local subqueries on all shared variables.
+  VarId join_var = kInvalidVarId;
+  std::vector<PlanNodePtr> children;
+
+  /// Estimated output cardinality of this subtree.
+  double cardinality = 0;
+  /// Cost of this operator alone (Eq. 4); 0 for scans.
+  double op_cost = 0;
+  /// Recursive plan cost (Eq. 3).
+  double total_cost = 0;
+
+  int NumJoinOps() const;
+  /// Height counting join operators only (a scan has depth 0). The MSC
+  /// baseline minimizes this quantity ("flat plans").
+  int JoinDepth() const;
+};
+
+/// Creates plan nodes with costs and cardinalities filled in. Holds the
+/// estimator and cost model; all optimizers in one run share one builder so
+/// plan costs are directly comparable.
+class PlanBuilder {
+ public:
+  PlanBuilder(const CardinalityEstimator& estimator, CostModel cost_model)
+      : estimator_(&estimator), cost_model_(cost_model) {}
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const CardinalityEstimator& estimator() const { return *estimator_; }
+
+  PlanNodePtr Scan(int tp) const;
+
+  /// A k-way join of `children` using `method` on `join_var`.
+  PlanNodePtr Join(JoinMethod method, VarId join_var,
+                   std::vector<PlanNodePtr> children) const;
+
+  /// The "local join plan" of Algorithm 1 line 10: all patterns of `sq`
+  /// scanned and joined by one local join operator.
+  PlanNodePtr LocalJoinAll(TpSet sq) const;
+
+ private:
+  const CardinalityEstimator* estimator_;
+  CostModel cost_model_;
+};
+
+/// Multi-line ASCII rendering, e.g. for EXPERIMENTS.md and debugging.
+std::string PlanToString(const PlanNode& plan, const JoinGraph& jg);
+/// One-line rendering: (tp1 JOIN_B (tp2 JOIN_L tp3)).
+std::string PlanToCompactString(const PlanNode& plan);
+
+}  // namespace parqo
+
+#endif  // PARQO_PLAN_PLAN_H_

@@ -1,0 +1,74 @@
+#include "plan/validate.h"
+
+namespace parqo {
+namespace {
+
+Status Fail(const std::string& what, const PlanNode& node) {
+  return Status::Internal("invalid plan: " + what + " at node covering " +
+                          node.tps.ToString());
+}
+
+Status ValidateNode(const PlanNode& node, const JoinGraph& jg,
+                    const LocalQueryIndex* local_index) {
+  if (node.kind == PlanNode::Kind::kScan) {
+    if (node.tp < 0 || node.tp >= jg.num_tps()) {
+      return Fail("scan of nonexistent pattern", node);
+    }
+    if (node.tps != TpSet::Singleton(node.tp)) {
+      return Fail("scan tps mismatch", node);
+    }
+    if (!node.children.empty()) return Fail("scan with children", node);
+    return Status::Ok();
+  }
+
+  if (node.children.size() < 2) {
+    return Fail("join with fewer than 2 inputs", node);
+  }
+  TpSet seen;
+  for (const PlanNodePtr& c : node.children) {
+    if (c->tps.Intersects(seen)) {
+      return Fail("children overlap", node);
+    }
+    seen |= c->tps;
+  }
+  if (seen != node.tps) return Fail("children do not cover node", node);
+  if (!jg.IsConnected(node.tps)) {
+    return Fail("disconnected subquery (Cartesian product)", node);
+  }
+
+  if (node.method == JoinMethod::kLocal) {
+    if (local_index != nullptr && !local_index->IsLocal(node.tps)) {
+      return Fail("local join of a non-local subquery", node);
+    }
+  } else {
+    if (node.join_var == kInvalidVarId) {
+      return Fail("distributed join without a join variable", node);
+    }
+    TpSet ntp = jg.Ntp(node.join_var);
+    for (const PlanNodePtr& c : node.children) {
+      if (!c->tps.Intersects(ntp)) {
+        return Fail("child does not contain the join variable "
+                    "(Definition 3 condition 3)",
+                    node);
+      }
+    }
+  }
+
+  for (const PlanNodePtr& c : node.children) {
+    PARQO_RETURN_IF_ERROR(ValidateNode(*c, jg, local_index));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidatePlan(const PlanNode& plan, const JoinGraph& jg,
+                    const LocalQueryIndex* local_index) {
+  if (plan.tps != jg.AllTps()) {
+    return Status::Internal("plan does not cover the whole query: " +
+                            plan.tps.ToString());
+  }
+  return ValidateNode(plan, jg, local_index);
+}
+
+}  // namespace parqo

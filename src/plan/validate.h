@@ -1,0 +1,28 @@
+// Structural plan validation: used by tests (including property tests over
+// random queries) and by debug builds of the optimizers to guarantee that
+// every emitted plan is a well-formed, Cartesian-product-free bushy plan.
+
+#ifndef PARQO_PLAN_VALIDATE_H_
+#define PARQO_PLAN_VALIDATE_H_
+
+#include "common/status.h"
+#include "partition/local_query_index.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+
+namespace parqo {
+
+/// Checks that `plan` is a valid physical plan for the whole query of `jg`:
+///  - leaves scan existing patterns; inner nodes have >= 2 children;
+///  - children cover disjoint pattern sets whose union is the node's set;
+///  - every subtree's pattern set is connected in the join graph;
+///  - non-local joins have a join variable shared by all children
+///    (no Cartesian products, Definition 3 condition 3);
+///  - local joins cover subqueries that `local_index` confirms are local
+///    (skipped when local_index == nullptr).
+Status ValidatePlan(const PlanNode& plan, const JoinGraph& jg,
+                    const LocalQueryIndex* local_index);
+
+}  // namespace parqo
+
+#endif  // PARQO_PLAN_VALIDATE_H_

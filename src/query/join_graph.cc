@@ -1,0 +1,166 @@
+#include "query/join_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.h"
+
+namespace parqo {
+
+JoinGraph::JoinGraph(std::vector<TriplePattern> patterns)
+    : patterns_(std::move(patterns)) {
+  PARQO_CHECK(!patterns_.empty());
+  PARQO_CHECK(patterns_.size() <= TpSet::kMaxSize);
+
+  const int n = num_tps();
+  tp_vars_.resize(n);
+  tp_join_vars_.resize(n);
+  adjacent_.resize(n);
+
+  // Intern variable names to dense VarIds in order of first occurrence.
+  auto intern = [&](const std::string& name) -> VarId {
+    for (VarId v = 0; v < static_cast<VarId>(var_names_.size()); ++v) {
+      if (var_names_[v] == name) return v;
+    }
+    var_names_.push_back(name);
+    ntp_.emplace_back();
+    return static_cast<VarId>(var_names_.size()) - 1;
+  };
+
+  for (int tp = 0; tp < n; ++tp) {
+    const TriplePattern& pat = patterns_[tp];
+    for (const PatternTerm* t : {&pat.s, &pat.p, &pat.o}) {
+      if (!t->IsVar()) continue;
+      VarId v = intern(t->var);
+      if (std::find(tp_vars_[tp].begin(), tp_vars_[tp].end(), v) ==
+          tp_vars_[tp].end()) {
+        tp_vars_[tp].push_back(v);
+        ntp_[v].Add(tp);
+      }
+    }
+  }
+
+  for (VarId v = 0; v < num_vars(); ++v) {
+    if (IsJoinVar(v)) join_vars_.push_back(v);
+  }
+  for (int tp = 0; tp < n; ++tp) {
+    for (VarId v : tp_vars_[tp]) {
+      if (IsJoinVar(v)) {
+        tp_join_vars_[tp].push_back(v);
+        adjacent_[tp] |= ntp_[v];
+      }
+    }
+    adjacent_[tp].Remove(tp);
+  }
+}
+
+VarId JoinGraph::FindVar(const std::string& name) const {
+  for (VarId v = 0; v < num_vars(); ++v) {
+    if (var_names_[v] == name) return v;
+  }
+  return kInvalidVarId;
+}
+
+int JoinGraph::MaxJoinVarDegree() const {
+  int best = 0;
+  for (VarId v : join_vars_) best = std::max(best, ntp_[v].Count());
+  return best;
+}
+
+TpSet JoinGraph::AdjacentExcluding(int tp, VarId vj) const {
+  TpSet out;
+  for (VarId v : tp_join_vars_[tp]) {
+    if (v != vj) out |= ntp_[v];
+  }
+  out.Remove(tp);
+  return out;
+}
+
+TpSet JoinGraph::NeighborsOf(TpSet sq) const {
+  TpSet out;
+  for (int tp : sq) out |= adjacent_[tp];
+  return out - sq;
+}
+
+bool JoinGraph::IsConnected(TpSet sq) const {
+  if (sq.Count() <= 1) return true;
+  return ComponentOf(sq.First(), sq) == sq;
+}
+
+TpSet JoinGraph::ComponentOf(int seed, TpSet within) const {
+  TpSet comp = TpSet::Singleton(seed);
+  TpSet frontier = comp;
+  while (!frontier.Empty()) {
+    TpSet next;
+    for (int tp : frontier) next |= adjacent_[tp];
+    next &= within;
+    next -= comp;
+    comp |= next;
+    frontier = next;
+  }
+  return comp;
+}
+
+TpSet JoinGraph::ComponentOfExcluding(int seed, TpSet within,
+                                      VarId vj) const {
+  TpSet comp = TpSet::Singleton(seed);
+  TpSet frontier = comp;
+  while (!frontier.Empty()) {
+    TpSet next;
+    for (int tp : frontier) next |= AdjacentExcluding(tp, vj);
+    next &= within;
+    next -= comp;
+    comp |= next;
+    frontier = next;
+  }
+  return comp;
+}
+
+std::vector<TpSet> JoinGraph::Components(TpSet within) const {
+  std::vector<TpSet> out;
+  TpSet rest = within;
+  while (!rest.Empty()) {
+    TpSet comp = ComponentOf(rest.First(), rest);
+    out.push_back(comp);
+    rest -= comp;
+  }
+  return out;
+}
+
+std::vector<TpSet> JoinGraph::ComponentsExcluding(TpSet within,
+                                                  VarId vj) const {
+  std::vector<TpSet> out;
+  TpSet rest = within;
+  while (!rest.Empty()) {
+    TpSet comp = ComponentOfExcluding(rest.First(), rest, vj);
+    out.push_back(comp);
+    rest -= comp;
+  }
+  return out;
+}
+
+std::vector<VarId> JoinGraph::SharedJoinVars(TpSet a, TpSet b) const {
+  std::vector<VarId> out;
+  for (VarId v : join_vars_) {
+    if (ntp_[v].Intersects(a) && ntp_[v].Intersects(b)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VarId> JoinGraph::JoinVarsWithin(TpSet sq) const {
+  std::vector<VarId> out;
+  for (VarId v : join_vars_) {
+    if ((ntp_[v] & sq).Count() >= 2) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VarId> JoinGraph::VarsIn(TpSet sq) const {
+  std::vector<VarId> out;
+  for (VarId v = 0; v < num_vars(); ++v) {
+    if (ntp_[v].Intersects(sq)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace parqo

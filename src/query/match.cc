@@ -1,0 +1,131 @@
+#include "query/match.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace parqo {
+namespace {
+
+struct Slot {
+  bool is_const = false;
+  TermId constant = kInvalidTermId;
+  VarId var = kInvalidVarId;
+};
+
+struct CompiledPattern {
+  Slot s, p, o;
+};
+
+}  // namespace
+
+std::vector<BgpMatch> MatchBgp(const JoinGraph& jg, const RdfGraph& graph,
+                               std::size_t limit) {
+  const Dictionary& dict = graph.dict();
+
+  std::unordered_map<TermId, std::vector<const Triple*>> by_predicate;
+  for (const Triple& t : graph.triples()) by_predicate[t.p].push_back(&t);
+
+  bool unmatchable = false;
+  std::vector<CompiledPattern> pats;
+  for (int i = 0; i < jg.num_tps(); ++i) {
+    const TriplePattern& tp = jg.pattern(i);
+    auto slot = [&](const PatternTerm& t) {
+      Slot s;
+      if (t.IsVar()) {
+        s.var = jg.FindVar(t.var);
+      } else {
+        s.is_const = true;
+        s.constant = dict.Lookup(t.term);
+        if (s.constant == kInvalidTermId) unmatchable = true;
+      }
+      return s;
+    };
+    pats.push_back(CompiledPattern{slot(tp.s), slot(tp.p), slot(tp.o)});
+  }
+  std::vector<BgpMatch> results;
+  if (unmatchable) return results;
+
+  std::vector<TermId> binding(jg.num_vars(), kInvalidTermId);
+  std::vector<Triple> matched(pats.size());
+  std::vector<bool> done(pats.size(), false);
+
+  auto bound = [&](const Slot& s) {
+    return s.is_const ||
+           (s.var != kInvalidVarId && binding[s.var] != kInvalidTermId);
+  };
+  auto pick = [&]() {
+    int best = -1, best_score = -1;
+    for (std::size_t i = 0; i < pats.size(); ++i) {
+      if (done[i]) continue;
+      int score = (bound(pats[i].p) ? 4 : 0) + (bound(pats[i].s) ? 2 : 0) +
+                  (bound(pats[i].o) ? 2 : 0);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  };
+
+  std::function<bool(int)> recurse = [&](int depth) -> bool {
+    if (depth == static_cast<int>(pats.size())) {
+      BgpMatch m;
+      m.bindings = binding;
+      m.triples = matched;
+      results.push_back(std::move(m));
+      return limit == 0 || results.size() < limit;
+    }
+    int i = pick();
+    done[i] = true;
+    const CompiledPattern& pat = pats[i];
+
+    bool keep_going = true;
+    auto try_triple = [&](const Triple& t) {
+      std::vector<std::pair<VarId, TermId>> newly;
+      auto unify = [&](const Slot& s, TermId value) {
+        if (s.is_const) return s.constant == value;
+        if (binding[s.var] != kInvalidTermId) {
+          return binding[s.var] == value;
+        }
+        for (auto& [v, val] : newly) {
+          if (v == s.var) return val == value;
+        }
+        newly.emplace_back(s.var, value);
+        return true;
+      };
+      if (unify(pat.s, t.s) && unify(pat.p, t.p) && unify(pat.o, t.o)) {
+        for (auto& [v, val] : newly) binding[v] = val;
+        matched[i] = t;
+        keep_going = recurse(depth + 1);
+        for (auto& [v, val] : newly) binding[v] = kInvalidTermId;
+      }
+    };
+
+    TermId p_id = kInvalidTermId;
+    if (pat.p.is_const) {
+      p_id = pat.p.constant;
+    } else if (binding[pat.p.var] != kInvalidTermId) {
+      p_id = binding[pat.p.var];
+    }
+    if (p_id != kInvalidTermId) {
+      auto it = by_predicate.find(p_id);
+      if (it != by_predicate.end()) {
+        for (const Triple* t : it->second) {
+          if (!keep_going) break;
+          try_triple(*t);
+        }
+      }
+    } else {
+      for (const Triple& t : graph.triples()) {
+        if (!keep_going) break;
+        try_triple(t);
+      }
+    }
+    done[i] = false;
+    return keep_going;
+  };
+  recurse(0);
+  return results;
+}
+
+}  // namespace parqo

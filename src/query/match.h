@@ -1,0 +1,34 @@
+// Single-machine reference evaluation of a basic graph pattern by
+// backtracking. This is not the parallel engine (see executor.h); it is
+// the ground truth used by tests, by data exploration, and by the
+// hot-query partitioner, which needs the concrete match subgraphs of a
+// query to co-locate them.
+
+#ifndef PARQO_QUERY_MATCH_H_
+#define PARQO_QUERY_MATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "query/join_graph.h"
+#include "rdf/graph.h"
+
+namespace parqo {
+
+struct BgpMatch {
+  /// Variable bindings, indexed by VarId (kInvalidTermId never occurs).
+  std::vector<TermId> bindings;
+  /// The matched triples, parallel to the query's patterns.
+  std::vector<Triple> triples;
+};
+
+/// All matches of `jg`'s patterns against `graph`, up to `limit`
+/// (0 = unlimited). Patterns are evaluated most-bound-first with
+/// predicate indexes, so selective queries are cheap; a fully unbound
+/// pattern costs a scan per candidate.
+std::vector<BgpMatch> MatchBgp(const JoinGraph& jg, const RdfGraph& graph,
+                               std::size_t limit);
+
+}  // namespace parqo
+
+#endif  // PARQO_QUERY_MATCH_H_

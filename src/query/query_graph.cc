@@ -1,0 +1,79 @@
+#include "query/query_graph.h"
+
+#include "rdf/ntriples.h"
+
+namespace parqo {
+
+std::string QueryVertex::ToString() const {
+  if (is_var) return "?var#" + std::to_string(var);
+  return TermToNTriples(constant);
+}
+
+QueryGraph::QueryGraph(const JoinGraph& join_graph)
+    : join_graph_(&join_graph) {
+  const auto& patterns = join_graph.patterns();
+  subject_vertex_.resize(patterns.size());
+  object_vertex_.resize(patterns.size());
+  for (int tp = 0; tp < static_cast<int>(patterns.size()); ++tp) {
+    int sv = VertexForTerm(patterns[tp].s);
+    int ov = VertexForTerm(patterns[tp].o);
+    subject_vertex_[tp] = sv;
+    object_vertex_[tp] = ov;
+    vertices_[sv].out_tps.Add(tp);
+    vertices_[ov].in_tps.Add(tp);
+  }
+}
+
+int QueryGraph::VertexForTerm(const PatternTerm& t) {
+  for (int i = 0; i < num_vertices(); ++i) {
+    const QueryVertex& v = vertices_[i];
+    if (t.IsVar()) {
+      if (v.is_var && join_graph_->FindVar(t.var) == v.var) return i;
+    } else {
+      if (!v.is_var && v.constant == t.term) return i;
+    }
+  }
+  QueryVertex v;
+  if (t.IsVar()) {
+    v.is_var = true;
+    v.var = join_graph_->FindVar(t.var);
+  } else {
+    v.constant = t.term;
+  }
+  vertices_.push_back(std::move(v));
+  return num_vertices() - 1;
+}
+
+int QueryGraph::VertexOfVar(VarId var) const {
+  for (int i = 0; i < num_vertices(); ++i) {
+    if (vertices_[i].is_var && vertices_[i].var == var) return i;
+  }
+  return -1;
+}
+
+TpSet QueryGraph::ForwardReachableTps(int i, int max_hops) const {
+  TpSet tps;
+  // BFS over vertices following subject->object direction.
+  std::vector<int> frontier{i};
+  std::vector<bool> visited(vertices_.size(), false);
+  visited[i] = true;
+  int hops = 0;
+  while (!frontier.empty() && (max_hops < 0 || hops < max_hops)) {
+    ++hops;
+    std::vector<int> next;
+    for (int v : frontier) {
+      for (int tp : vertices_[v].out_tps) {
+        tps.Add(tp);
+        int ov = object_vertex_[tp];
+        if (!visited[ov]) {
+          visited[ov] = true;
+          next.push_back(ov);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return tps;
+}
+
+}  // namespace parqo

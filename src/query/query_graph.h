@@ -1,0 +1,65 @@
+// The query graph G_Q = (V_Q, E_Q) of Section II-A: a directed labeled
+// graph whose vertices are the subject/object terms of the query's triple
+// patterns (variables and constants alike) and whose edges are the
+// patterns. The generic partitioning model applies its combine() function
+// to the vertices of this graph to derive maximal local queries
+// (Section III-B and Appendix A).
+
+#ifndef PARQO_QUERY_QUERY_GRAPH_H_
+#define PARQO_QUERY_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/tp_set.h"
+#include "query/join_graph.h"
+#include "sparql/query.h"
+
+namespace parqo {
+
+/// One vertex of G_Q: either a variable or a constant term.
+struct QueryVertex {
+  bool is_var = false;
+  VarId var = kInvalidVarId;  ///< When is_var.
+  Term constant;              ///< When !is_var.
+
+  TpSet out_tps;  ///< Patterns where this vertex is the subject.
+  TpSet in_tps;   ///< Patterns where this vertex is the object.
+
+  TpSet IncidentTps() const { return out_tps | in_tps; }
+  std::string ToString() const;
+};
+
+class QueryGraph {
+ public:
+  /// Builds G_Q; `join_graph` supplies the VarIds and must outlive this.
+  explicit QueryGraph(const JoinGraph& join_graph);
+
+  const std::vector<QueryVertex>& vertices() const { return vertices_; }
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+  const QueryVertex& vertex(int i) const { return vertices_[i]; }
+
+  /// Index of the vertex for variable `v`, or -1 if `v` only occurs in
+  /// predicate position (predicates are edge labels, not vertices).
+  int VertexOfVar(VarId v) const;
+
+  /// Patterns reachable from vertex `i` by following edge direction for at
+  /// most `max_hops` hops (-1 = unbounded). Used by the 2f and Path-BMC
+  /// combine() functions.
+  TpSet ForwardReachableTps(int i, int max_hops) const;
+
+  const JoinGraph& join_graph() const { return *join_graph_; }
+
+ private:
+  int VertexForTerm(const PatternTerm& t);
+
+  const JoinGraph* join_graph_;
+  std::vector<QueryVertex> vertices_;
+  // subject/object vertex index per pattern, parallel to patterns().
+  std::vector<int> subject_vertex_;
+  std::vector<int> object_vertex_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,103 @@
+#include "query/shape.h"
+
+#include <limits>
+
+namespace parqo {
+
+std::string ToString(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kSingle: return "single";
+    case QueryShape::kStar: return "star";
+    case QueryShape::kChain: return "chain";
+    case QueryShape::kCycle: return "cycle";
+    case QueryShape::kTree: return "tree";
+    case QueryShape::kDense: return "dense";
+    case QueryShape::kDisconnected: return "disconnected";
+  }
+  return "?";
+}
+
+int CyclomaticNumber(const JoinGraph& jg) {
+  int edges = 0;
+  for (VarId v : jg.join_vars()) edges += jg.Ntp(v).Count();
+  int vt = jg.num_tps();
+  int vj = jg.num_join_vars();
+  int components = static_cast<int>(jg.Components(jg.AllTps()).size());
+  // Each pattern-component contributes the same component in the bipartite
+  // graph (join variables never bridge components by construction).
+  return edges - vt - vj + components;
+}
+
+double TpToJoinVarRatio(const JoinGraph& jg) {
+  if (jg.num_join_vars() == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(jg.num_tps()) /
+         static_cast<double>(jg.num_join_vars());
+}
+
+namespace {
+
+// True if the 2-pattern query forms a directed path in G_Q: some shared
+// variable is object of one pattern and subject of the other.
+bool IsDirectedPathPair(const JoinGraph& jg) {
+  const TriplePattern& a = jg.pattern(0);
+  const TriplePattern& b = jg.pattern(1);
+  auto obj_to_subj = [](const TriplePattern& x, const TriplePattern& y) {
+    return x.o.IsVar() && y.s.IsVar() && x.o.var == y.s.var;
+  };
+  return obj_to_subj(a, b) || obj_to_subj(b, a);
+}
+
+}  // namespace
+
+QueryShape ClassifyShape(const JoinGraph& jg) {
+  const int n = jg.num_tps();
+  if (n == 1) return QueryShape::kSingle;
+  if (!jg.IsConnected(jg.AllTps())) return QueryShape::kDisconnected;
+
+  if (n == 2) {
+    return IsDirectedPathPair(jg) ? QueryShape::kChain : QueryShape::kStar;
+  }
+
+  // Star: a single join variable shared by every pattern. (Queries where
+  // one variable covers all patterns but extra join variables exist are
+  // dense/tree, handled below.)
+  if (jg.num_join_vars() == 1 &&
+      jg.Ntp(jg.join_vars()[0]).Count() == n) {
+    return QueryShape::kStar;
+  }
+
+  int cycles = CyclomaticNumber(jg);
+  bool all_var_deg2 = true;
+  for (VarId v : jg.join_vars()) {
+    if (jg.Ntp(v).Count() != 2) all_var_deg2 = false;
+  }
+  int tps_with_two_jvars = 0;
+  int tps_with_one_jvar = 0;
+  bool tp_jvars_ok = true;
+  for (int tp = 0; tp < n; ++tp) {
+    std::size_t k = jg.JoinVarsOf(tp).size();
+    if (k == 2) {
+      ++tps_with_two_jvars;
+    } else if (k == 1) {
+      ++tps_with_one_jvar;
+    } else {
+      tp_jvars_ok = false;
+    }
+  }
+
+  if (cycles == 0) {
+    if (all_var_deg2 && tp_jvars_ok && tps_with_one_jvar == 2) {
+      return QueryShape::kChain;
+    }
+    return QueryShape::kTree;
+  }
+  if (cycles == 1 && all_var_deg2 && tp_jvars_ok &&
+      tps_with_two_jvars == n) {
+    return QueryShape::kCycle;
+  }
+  return QueryShape::kDense;
+}
+
+}  // namespace parqo

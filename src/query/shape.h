@@ -1,0 +1,43 @@
+// Join-graph shape classification (Section II-B, Figure 2): star, chain,
+// cycle, tree, or dense. The TD-Auto decision tree (Figure 5) and the
+// random query generator both depend on these categories.
+
+#ifndef PARQO_QUERY_SHAPE_H_
+#define PARQO_QUERY_SHAPE_H_
+
+#include <string>
+
+#include "query/join_graph.h"
+
+namespace parqo {
+
+enum class QueryShape {
+  kSingle,        ///< One triple pattern; no joins.
+  kStar,          ///< All patterns share one join variable.
+  kChain,         ///< Join graph is a path.
+  kCycle,         ///< Join graph is a single cycle through all patterns.
+  kTree,          ///< Acyclic join graph, neither star nor chain.
+  kDense,         ///< Join graph contains at least one cycle.
+  kDisconnected,  ///< Query graph has no connecting join variables.
+};
+
+std::string ToString(QueryShape shape);
+
+/// Classifies the join graph. A connected 2-pattern query is a chain if the
+/// shared variable links object-of-one to subject-of-the-other (a directed
+/// path in G_Q), otherwise a star; this mirrors the paper's labeling of L2
+/// (chain) vs L1 (star).
+QueryShape ClassifyShape(const JoinGraph& jg);
+
+/// Number of independent cycles of the (bipartite) join graph:
+/// E - |V_T| - |V_J| + #components, restricted to patterns containing at
+/// least one join variable.
+int CyclomaticNumber(const JoinGraph& jg);
+
+/// |V_T| / |V_J| as used by the TD-Auto decision tree (Figure 5).
+/// Returns +infinity when there are no join variables.
+double TpToJoinVarRatio(const JoinGraph& jg);
+
+}  // namespace parqo
+
+#endif  // PARQO_QUERY_SHAPE_H_

@@ -1,0 +1,41 @@
+#include "rdf/dictionary.h"
+
+#include <utility>
+
+namespace parqo {
+
+std::string Dictionary::MakeKey(TermKind kind, std::string_view lexical) {
+  std::string key;
+  key.reserve(lexical.size() + 1);
+  key.push_back(static_cast<char>(kind));
+  key.append(lexical);
+  return key;
+}
+
+TermId Dictionary::Encode(const Term& term) {
+  std::string key = MakeKey(term.kind, term.lexical);
+  auto [it, inserted] =
+      index_.emplace(std::move(key), static_cast<TermId>(terms_.size()));
+  if (inserted) terms_.push_back(term);
+  return it->second;
+}
+
+TermId Dictionary::EncodeIri(std::string_view iri) {
+  return Encode(Term::Iri(std::string(iri)));
+}
+
+TermId Dictionary::EncodeLiteral(std::string_view lit) {
+  return Encode(Term::Literal(std::string(lit)));
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(MakeKey(term.kind, term.lexical));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+TermId Dictionary::LookupIri(std::string_view iri) const {
+  auto it = index_.find(MakeKey(TermKind::kIri, iri));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+}  // namespace parqo

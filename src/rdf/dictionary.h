@@ -1,0 +1,57 @@
+// Dictionary encoding of RDF terms. Every distinct term maps to a dense
+// TermId so that triples are plain 12-byte structs and joins compare
+// integers, the standard design in RDF engines (RDF-3X, TriAD, ...).
+
+#ifndef PARQO_RDF_DICTIONARY_H_
+#define PARQO_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace parqo {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns a term, returning its id (existing id if already present).
+  /// Ids are assigned densely starting at 1.
+  TermId Encode(const Term& term);
+
+  /// Convenience for IRIs, the dominant case in generators.
+  TermId EncodeIri(std::string_view iri);
+  TermId EncodeLiteral(std::string_view lit);
+
+  /// Returns the id of a term, or kInvalidTermId if never interned.
+  TermId Lookup(const Term& term) const;
+  TermId LookupIri(std::string_view iri) const;
+
+  /// Decodes an id; id must be valid.
+  const Term& Decode(TermId id) const { return terms_[id]; }
+
+  /// Number of interned terms.
+  std::size_t size() const { return terms_.size() - 1; }
+
+  /// Largest id + 1 (useful to size direct-indexed tables).
+  TermId IdUpperBound() const { return static_cast<TermId>(terms_.size()); }
+
+ private:
+  // Key combines kind and lexical form so "x" (IRI) != "x" (literal).
+  static std::string MakeKey(TermKind kind, std::string_view lexical);
+
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<Term> terms_{Term{}};  // slot 0 = invalid sentinel
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_RDF_DICTIONARY_H_

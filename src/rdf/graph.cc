@@ -1,0 +1,46 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parqo {
+
+RdfGraph::RdfGraph(Dictionary dict, std::vector<Triple> triples)
+    : dict_(std::move(dict)), triples_(std::move(triples)) {
+  std::sort(triples_.begin(), triples_.end());
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+
+  const std::size_t id_bound = dict_.IdUpperBound();
+  out_offsets_.assign(id_bound + 1, 0);
+  in_offsets_.assign(id_bound + 1, 0);
+
+  std::vector<bool> is_vertex(id_bound, false);
+  for (const Triple& t : triples_) {
+    ++out_offsets_[t.s + 1];
+    ++in_offsets_[t.o + 1];
+    is_vertex[t.s] = true;
+    is_vertex[t.o] = true;
+  }
+  for (std::size_t v = 1; v <= id_bound; ++v) {
+    out_offsets_[v] += out_offsets_[v - 1];
+    in_offsets_[v] += in_offsets_[v - 1];
+  }
+
+  out_index_.resize(triples_.size());
+  in_index_.resize(triples_.size());
+  std::vector<std::uint32_t> out_cursor(out_offsets_.begin(),
+                                        out_offsets_.end() - 1);
+  std::vector<std::uint32_t> in_cursor(in_offsets_.begin(),
+                                       in_offsets_.end() - 1);
+  for (TripleIdx i = 0; i < triples_.size(); ++i) {
+    out_index_[out_cursor[triples_[i].s]++] = i;
+    in_index_[in_cursor[triples_[i].o]++] = i;
+  }
+
+  for (TermId v = 0; v < id_bound; ++v) {
+    if (is_vertex[v]) vertices_.push_back(v);
+  }
+}
+
+}  // namespace parqo

@@ -1,0 +1,252 @@
+#include "rdf/ntriples.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace parqo {
+namespace {
+
+// Cursor over one physical line.
+struct LineCursor {
+  std::string_view line;
+  std::size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+  }
+  bool AtEnd() const { return pos >= line.size(); }
+  char Peek() const { return line[pos]; }
+};
+
+Status SyntaxError(std::size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("N-Triples syntax error on line " +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+// Unescapes \t \n \r \" \\ and leaves other bytes verbatim. Full
+// \uXXXX handling is not needed by our generators but simple escapes are.
+std::string Unescape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '\\' && i + 1 < raw.size()) {
+      ++i;
+      switch (raw[i]) {
+        case 't': out += '\t'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        default:
+          out += '\\';
+          out += raw[i];
+      }
+    } else {
+      out += raw[i];
+    }
+  }
+  return out;
+}
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Parses one term starting at the cursor. `allow_literal` is false in
+// subject/predicate position.
+Status ParseTerm(LineCursor& cur, std::size_t line_no, bool allow_literal,
+                 Term* out) {
+  cur.SkipSpace();
+  if (cur.AtEnd()) return SyntaxError(line_no, "unexpected end of line");
+  char c = cur.Peek();
+  if (c == '<') {
+    std::size_t close = cur.line.find('>', cur.pos + 1);
+    if (close == std::string_view::npos) {
+      return SyntaxError(line_no, "unterminated IRI");
+    }
+    *out = Term::Iri(
+        std::string(cur.line.substr(cur.pos + 1, close - cur.pos - 1)));
+    cur.pos = close + 1;
+    return Status::Ok();
+  }
+  if (c == '_') {
+    if (cur.pos + 1 >= cur.line.size() || cur.line[cur.pos + 1] != ':') {
+      return SyntaxError(line_no, "malformed blank node");
+    }
+    std::size_t end = cur.pos + 2;
+    while (end < cur.line.size() && cur.line[end] != ' ' &&
+           cur.line[end] != '\t') {
+      ++end;
+    }
+    if (end == cur.pos + 2) return SyntaxError(line_no, "empty blank label");
+    *out = Term::Blank(
+        std::string(cur.line.substr(cur.pos + 2, end - cur.pos - 2)));
+    cur.pos = end;
+    return Status::Ok();
+  }
+  if (c == '"') {
+    if (!allow_literal) {
+      return SyntaxError(line_no, "literal not allowed in this position");
+    }
+    // Find the closing unescaped quote.
+    std::size_t i = cur.pos + 1;
+    while (i < cur.line.size()) {
+      if (cur.line[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (cur.line[i] == '"') break;
+      ++i;
+    }
+    if (i >= cur.line.size()) {
+      return SyntaxError(line_no, "unterminated literal");
+    }
+    std::string body =
+        Unescape(cur.line.substr(cur.pos + 1, i - cur.pos - 1));
+    cur.pos = i + 1;
+    // Optional @lang or ^^<datatype>; kept verbatim in the lexical form so
+    // distinct typed literals stay distinct in the dictionary.
+    if (!cur.AtEnd() && cur.Peek() == '@') {
+      std::size_t end = cur.pos;
+      while (end < cur.line.size() && cur.line[end] != ' ' &&
+             cur.line[end] != '\t') {
+        ++end;
+      }
+      body += std::string(cur.line.substr(cur.pos, end - cur.pos));
+      cur.pos = end;
+    } else if (cur.pos + 1 < cur.line.size() && cur.Peek() == '^' &&
+               cur.line[cur.pos + 1] == '^') {
+      std::size_t close = cur.line.find('>', cur.pos + 2);
+      if (close == std::string_view::npos) {
+        return SyntaxError(line_no, "unterminated datatype IRI");
+      }
+      body += std::string(cur.line.substr(cur.pos, close + 1 - cur.pos));
+      cur.pos = close + 1;
+    }
+    *out = Term::Literal(std::move(body));
+    return Status::Ok();
+  }
+  return SyntaxError(line_no, std::string("unexpected character '") + c +
+                                  "'");
+}
+
+}  // namespace
+
+Status ParseNTriplesInto(std::string_view text, Dictionary& dict,
+                         std::vector<Triple>& out) {
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? text.size() - start
+                                            : nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+
+    LineCursor cur{stripped};
+    Term s, p, o;
+    PARQO_RETURN_IF_ERROR(ParseTerm(cur, line_no, /*allow_literal=*/false,
+                                    &s));
+    PARQO_RETURN_IF_ERROR(ParseTerm(cur, line_no, /*allow_literal=*/false,
+                                    &p));
+    if (p.kind != TermKind::kIri) {
+      return SyntaxError(line_no, "predicate must be an IRI");
+    }
+    PARQO_RETURN_IF_ERROR(ParseTerm(cur, line_no, /*allow_literal=*/true,
+                                    &o));
+    cur.SkipSpace();
+    if (cur.AtEnd() || cur.Peek() != '.') {
+      return SyntaxError(line_no, "expected terminating '.'");
+    }
+    ++cur.pos;
+    cur.SkipSpace();
+    if (!cur.AtEnd() && cur.Peek() != '#') {
+      return SyntaxError(line_no, "trailing content after '.'");
+    }
+    out.push_back(Triple{dict.Encode(s), dict.Encode(p), dict.Encode(o)});
+  }
+  return Status::Ok();
+}
+
+Result<RdfGraph> ParseNTriplesString(std::string_view text) {
+  Dictionary dict;
+  std::vector<Triple> triples;
+  Status st = ParseNTriplesInto(text, dict, triples);
+  if (!st.ok()) return st;
+  return RdfGraph(std::move(dict), std::move(triples));
+}
+
+Result<RdfGraph> ParseNTriplesFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNTriplesString(buf.str());
+}
+
+std::string TermToNTriples(const Term& term) {
+  switch (term.kind) {
+    case TermKind::kIri:
+      return "<" + term.lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + term.lexical;
+    case TermKind::kLiteral: {
+      // Split off a verbatim @lang / ^^<dt> suffix if present.
+      std::string_view lex = term.lexical;
+      std::string_view suffix;
+      std::size_t caret = lex.rfind("^^<");
+      if (caret != std::string_view::npos && EndsWith(lex, ">")) {
+        suffix = lex.substr(caret);
+        lex = lex.substr(0, caret);
+      } else {
+        std::size_t at = lex.rfind('@');
+        if (at != std::string_view::npos && at + 1 < lex.size() &&
+            lex.find('"', at) == std::string_view::npos &&
+            lex.find(' ', at) == std::string_view::npos) {
+          suffix = lex.substr(at);
+          lex = lex.substr(0, at);
+        }
+      }
+      return "\"" + Escape(lex) + "\"" + std::string(suffix);
+    }
+  }
+  return "";
+}
+
+std::string WriteNTriples(const RdfGraph& graph) {
+  std::string out;
+  for (const Triple& t : graph.triples()) {
+    out += TermToNTriples(graph.dict().Decode(t.s));
+    out += ' ';
+    out += TermToNTriples(graph.dict().Decode(t.p));
+    out += ' ';
+    out += TermToNTriples(graph.dict().Decode(t.o));
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace parqo

@@ -1,0 +1,38 @@
+// N-Triples reader and writer. This is the serialization used to load RDF
+// datasets into the engine; the subset covers IRIs, blank nodes, and
+// literals with optional language tags / datatypes, plus comments.
+
+#ifndef PARQO_RDF_NTRIPLES_H_
+#define PARQO_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/triple.h"
+
+namespace parqo {
+
+/// Parses N-Triples `text`, interning terms into `dict` and appending to
+/// `out`. Returns the first syntax error with a line number, if any.
+Status ParseNTriplesInto(std::string_view text, Dictionary& dict,
+                         std::vector<Triple>& out);
+
+/// Parses a complete document into a fresh graph.
+Result<RdfGraph> ParseNTriplesString(std::string_view text);
+
+/// Loads and parses a file.
+Result<RdfGraph> ParseNTriplesFile(const std::string& path);
+
+/// Serializes a graph back to N-Triples (one triple per line, sorted).
+std::string WriteNTriples(const RdfGraph& graph);
+
+/// Serializes a single term in N-Triples surface syntax.
+std::string TermToNTriples(const Term& term);
+
+}  // namespace parqo
+
+#endif  // PARQO_RDF_NTRIPLES_H_

@@ -1,0 +1,9 @@
+#include "rdf/term.h"
+
+#include "rdf/ntriples.h"
+
+namespace parqo {
+
+std::string Term::ToNTriples() const { return TermToNTriples(*this); }
+
+}  // namespace parqo

@@ -1,0 +1,49 @@
+// RDF terms at the parse boundary. Inside the engine every term is a
+// dictionary-encoded 32-bit id (TermId); the lexical Term struct only
+// appears in parser output and report printing.
+
+#ifndef PARQO_RDF_TERM_H_
+#define PARQO_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace parqo {
+
+/// Dictionary-encoded term identifier. 0 is reserved as "invalid".
+using TermId = std::uint32_t;
+inline constexpr TermId kInvalidTermId = 0;
+
+enum class TermKind : std::uint8_t {
+  kIri,
+  kLiteral,
+  kBlank,
+};
+
+/// A lexical RDF term: IRI, literal, or blank node.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  /// IRI without angle brackets, literal without quotes (but with any
+  /// language tag / datatype suffix verbatim), or blank-node label
+  /// without the "_:" prefix.
+  std::string lexical;
+
+  static Term Iri(std::string s) {
+    return Term{TermKind::kIri, std::move(s)};
+  }
+  static Term Literal(std::string s) {
+    return Term{TermKind::kLiteral, std::move(s)};
+  }
+  static Term Blank(std::string s) {
+    return Term{TermKind::kBlank, std::move(s)};
+  }
+
+  friend bool operator==(const Term&, const Term&) = default;
+
+  /// N-Triples surface syntax: <iri>, "literal", _:b.
+  std::string ToNTriples() const;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_RDF_TERM_H_

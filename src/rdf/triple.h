@@ -1,0 +1,39 @@
+// A dictionary-encoded RDF triple <subject, predicate, object>.
+
+#ifndef PARQO_RDF_TRIPLE_H_
+#define PARQO_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "rdf/term.h"
+
+namespace parqo {
+
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend auto operator<=>(const Triple& a, const Triple& b) {
+    return std::tie(a.s, a.p, a.o) <=> std::tie(b.s, b.p, b.o);
+  }
+};
+
+struct TripleHash {
+  std::size_t operator()(const Triple& t) const noexcept {
+    std::uint64_t x = (static_cast<std::uint64_t>(t.s) << 32) ^
+                      (static_cast<std::uint64_t>(t.p) << 16) ^ t.o;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_RDF_TRIPLE_H_

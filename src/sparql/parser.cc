@@ -1,0 +1,335 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parqo {
+namespace {
+
+enum class Tok {
+  kKeywordSelect,
+  kKeywordWhere,
+  kKeywordPrefix,
+  kIri,      // <...> content without brackets
+  kPname,    // prefix:local (text includes the colon)
+  kVar,      // ?name, text without '?'
+  kLiteral,  // "..." content unescaped, with verbatim @lang/^^<dt> suffix
+  kStar,
+  kDot,
+  kLBrace,
+  kRBrace,
+  kColonOnly,  // ":" alone (default-prefix name ":local" handled via pname)
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::size_t pos;
+};
+
+bool IsPnameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == '%';
+}
+
+Status LexError(std::size_t pos, const std::string& what) {
+  return Status::InvalidArgument("SPARQL lex error at offset " +
+                                 std::to_string(pos) + ": " + what);
+}
+
+std::string AsciiUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+Status Lex(std::string_view text, std::vector<Token>* out) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '<') {
+      std::size_t close = text.find('>', i + 1);
+      if (close == std::string_view::npos) {
+        return LexError(i, "unterminated IRI");
+      }
+      out->push_back(
+          {Tok::kIri, std::string(text.substr(i + 1, close - i - 1)), i});
+      i = close + 1;
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      std::size_t end = i + 1;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_')) {
+        ++end;
+      }
+      if (end == i + 1) return LexError(i, "empty variable name");
+      out->push_back(
+          {Tok::kVar, std::string(text.substr(i + 1, end - i - 1)), i});
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      std::string body;
+      std::size_t j = i + 1;
+      while (j < text.size() && text[j] != '"') {
+        if (text[j] == '\\' && j + 1 < text.size()) {
+          ++j;
+          switch (text[j]) {
+            case 't': body += '\t'; break;
+            case 'n': body += '\n'; break;
+            case '"': body += '"'; break;
+            case '\\': body += '\\'; break;
+            default: body += text[j];
+          }
+        } else {
+          body += text[j];
+        }
+        ++j;
+      }
+      if (j >= text.size()) return LexError(i, "unterminated literal");
+      ++j;  // closing quote
+      // Verbatim @lang or ^^<datatype> suffix.
+      if (j < text.size() && text[j] == '@') {
+        std::size_t end = j;
+        while (end < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[end])) ||
+                text[end] == '@' || text[end] == '-')) {
+          ++end;
+        }
+        body += std::string(text.substr(j, end - j));
+        j = end;
+      } else if (j + 1 < text.size() && text[j] == '^' &&
+                 text[j + 1] == '^') {
+        if (j + 2 >= text.size() || text[j + 2] != '<') {
+          return LexError(j, "expected <datatype> after ^^");
+        }
+        std::size_t close = text.find('>', j + 3);
+        if (close == std::string_view::npos) {
+          return LexError(j, "unterminated datatype IRI");
+        }
+        body += std::string(text.substr(j, close + 1 - j));
+        j = close + 1;
+      }
+      out->push_back({Tok::kLiteral, std::move(body), i});
+      i = j;
+      continue;
+    }
+    if (c == '*') {
+      out->push_back({Tok::kStar, "*", i});
+      ++i;
+      continue;
+    }
+    if (c == '.') {
+      out->push_back({Tok::kDot, ".", i});
+      ++i;
+      continue;
+    }
+    if (c == '{') {
+      out->push_back({Tok::kLBrace, "{", i});
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      out->push_back({Tok::kRBrace, "}", i});
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == ':') {
+      // Bare word: keyword or prefixed name. Scan prefix part.
+      std::size_t end = i;
+      while (end < text.size() && IsPnameChar(text[end])) ++end;
+      bool has_colon = end < text.size() && text[end] == ':';
+      if (has_colon) {
+        std::size_t local_start = end + 1;
+        std::size_t local_end = local_start;
+        while (local_end < text.size() && IsPnameChar(text[local_end])) {
+          ++local_end;
+        }
+        // A trailing '.' terminates the pattern, not the name.
+        while (local_end > local_start && text[local_end - 1] == '.') {
+          --local_end;
+        }
+        out->push_back(
+            {Tok::kPname, std::string(text.substr(i, local_end - i)), i});
+        i = local_end;
+        continue;
+      }
+      std::string word(text.substr(i, end - i));
+      // Strip pname-chars that scanned past a keyword's trailing dot, e.g.
+      // in "WHERE." (not expected, but harmless).
+      std::string upper = AsciiUpper(word);
+      if (upper == "SELECT") {
+        out->push_back({Tok::kKeywordSelect, word, i});
+      } else if (upper == "WHERE") {
+        out->push_back({Tok::kKeywordWhere, word, i});
+      } else if (upper == "PREFIX") {
+        out->push_back({Tok::kKeywordPrefix, word, i});
+      } else if (upper == "DISTINCT") {
+        // Accepted and ignored: projection dedup is implicit in our
+        // set-semantics executor.
+      } else {
+        return LexError(i, "unexpected word '" + word + "'");
+      }
+      i = end;
+      continue;
+    }
+    return LexError(i, std::string("unexpected character '") + c + "'");
+  }
+  out->push_back({Tok::kEnd, "", text.size()});
+  return Status::Ok();
+}
+
+// Result<T> cannot use PARQO_RETURN_IF_ERROR directly in functions that
+// return Result (the Status converts implicitly), but a dedicated name keeps
+// the intent clear at call sites below.
+#define PARQO_RETURN_IF_ERROR_R(expr)       \
+  do {                                      \
+    ::parqo::Status _st = (expr);           \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery q;
+    PARQO_RETURN_IF_ERROR_R(ParsePrefixes());
+    PARQO_RETURN_IF_ERROR_R(ParseSelect(&q));
+    PARQO_RETURN_IF_ERROR_R(ParseWhere(&q));
+    if (Peek().kind != Tok::kEnd) {
+      return Error("trailing content after query");
+    }
+    if (q.patterns.empty()) {
+      return Error("query has no triple patterns");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(Tok kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("SPARQL parse error at offset " +
+                                   std::to_string(Peek().pos) + ": " + what);
+  }
+
+  Status ParsePrefixes() {
+    while (Match(Tok::kKeywordPrefix)) {
+      const Token& name = Peek();
+      std::string prefix;
+      if (name.kind == Tok::kPname) {
+        // "PREFIX rdf: <iri>" lexes the "rdf:" as a pname with empty local.
+        prefix = name.text.substr(0, name.text.find(':'));
+        Advance();
+      } else {
+        return Error("expected 'name:' after PREFIX");
+      }
+      if (Peek().kind != Tok::kIri) {
+        return Error("expected <iri> in PREFIX declaration");
+      }
+      prefixes_[prefix] = Advance().text;
+    }
+    return Status::Ok();
+  }
+
+  Status ParseSelect(ParsedQuery* q) {
+    if (!Match(Tok::kKeywordSelect)) return Error("expected SELECT");
+    if (Match(Tok::kStar)) {
+      q->select_all = true;
+    } else {
+      while (Peek().kind == Tok::kVar) {
+        q->select_vars.push_back(Advance().text);
+      }
+      if (q->select_vars.empty()) {
+        return Error("expected ?vars or * after SELECT");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ParseWhere(ParsedQuery* q) {
+    if (!Match(Tok::kKeywordWhere)) return Error("expected WHERE");
+    if (!Match(Tok::kLBrace)) return Error("expected '{'");
+    while (Peek().kind != Tok::kRBrace) {
+      TriplePattern tp;
+      PARQO_RETURN_IF_ERROR(ParsePatternTerm(&tp.s, /*object_pos=*/false));
+      PARQO_RETURN_IF_ERROR(ParsePatternTerm(&tp.p, /*object_pos=*/false));
+      PARQO_RETURN_IF_ERROR(ParsePatternTerm(&tp.o, /*object_pos=*/true));
+      q->patterns.push_back(std::move(tp));
+      if (!Match(Tok::kDot)) break;  // '.' optional before '}'
+    }
+    if (!Match(Tok::kRBrace)) return Error("expected '}'");
+    return Status::Ok();
+  }
+
+  Status ParsePatternTerm(PatternTerm* out, bool object_pos) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kVar:
+        *out = PatternTerm::Var(Advance().text);
+        return Status::Ok();
+      case Tok::kIri:
+        *out = PatternTerm::Const(Term::Iri(Advance().text));
+        return Status::Ok();
+      case Tok::kPname: {
+        std::string text = Advance().text;
+        std::size_t colon = text.find(':');
+        std::string prefix = text.substr(0, colon);
+        auto it = prefixes_.find(prefix);
+        if (it == prefixes_.end()) {
+          return Error("undeclared prefix '" + prefix + ":'");
+        }
+        *out = PatternTerm::Const(
+            Term::Iri(it->second + text.substr(colon + 1)));
+        return Status::Ok();
+      }
+      case Tok::kLiteral:
+        if (!object_pos) {
+          return Error("literal allowed only in object position");
+        }
+        *out = PatternTerm::Const(Term::Literal(Advance().text));
+        return Status::Ok();
+      default:
+        return Error("expected variable, IRI, prefixed name, or literal");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::string> prefixes_;
+};
+#undef PARQO_RETURN_IF_ERROR_R
+
+}  // namespace
+
+Result<ParsedQuery> ParseSparql(std::string_view text) {
+  std::vector<Token> tokens;
+  Status st = Lex(text, &tokens);
+  if (!st.ok()) return st;
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace parqo

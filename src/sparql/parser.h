@@ -1,0 +1,24 @@
+// Recursive-descent parser for the SPARQL subset used throughout the paper:
+//
+//   [PREFIX name: <iri>]*
+//   SELECT (?var+ | *) WHERE { triple-pattern ('.' triple-pattern)* '.'? }
+//
+// Positions may be variables (?x), IRIs (<...> or prefixed names like
+// ub:worksFor), or literals ("...", object position only).
+
+#ifndef PARQO_SPARQL_PARSER_H_
+#define PARQO_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sparql/query.h"
+
+namespace parqo {
+
+/// Parses a query text; errors carry a byte offset and description.
+Result<ParsedQuery> ParseSparql(std::string_view text);
+
+}  // namespace parqo
+
+#endif  // PARQO_SPARQL_PARSER_H_

@@ -1,0 +1,49 @@
+#include "sparql/query.h"
+
+#include <algorithm>
+
+#include "rdf/ntriples.h"
+
+namespace parqo {
+
+std::string PatternTerm::ToString() const {
+  if (IsVar()) return "?" + var;
+  return TermToNTriples(term);
+}
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> out;
+  for (const PatternTerm* t : {&s, &p, &o}) {
+    if (t->IsVar() &&
+        std::find(out.begin(), out.end(), t->var) == out.end()) {
+      out.push_back(t->var);
+    }
+  }
+  return out;
+}
+
+bool TriplePattern::UsesVariable(const std::string& name) const {
+  return (s.IsVar() && s.var == name) || (p.IsVar() && p.var == name) ||
+         (o.IsVar() && o.var == name);
+}
+
+std::string TriplePattern::ToString() const {
+  return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
+}
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "SELECT";
+  if (select_all) {
+    out += " *";
+  } else {
+    for (const std::string& v : select_vars) out += " ?" + v;
+  }
+  out += " WHERE {\n";
+  for (const TriplePattern& tp : patterns) {
+    out += "  " + tp.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace parqo

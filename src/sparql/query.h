@@ -1,0 +1,68 @@
+// SPARQL basic-graph-pattern queries (Section II-A): a set of triple
+// patterns whose positions are constants or variables. This is the scope
+// the paper optimizes; solution modifiers other than SELECT projection are
+// out of scope.
+
+#ifndef PARQO_SPARQL_QUERY_H_
+#define PARQO_SPARQL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace parqo {
+
+/// One position (subject, predicate, or object) of a triple pattern.
+struct PatternTerm {
+  enum class Kind { kVar, kConst };
+
+  Kind kind = Kind::kConst;
+  std::string var;  ///< Variable name without '?', when kind == kVar.
+  Term term;        ///< Constant term, when kind == kConst.
+
+  static PatternTerm Var(std::string name) {
+    PatternTerm t;
+    t.kind = Kind::kVar;
+    t.var = std::move(name);
+    return t;
+  }
+  static PatternTerm Const(Term term) {
+    PatternTerm t;
+    t.kind = Kind::kConst;
+    t.term = std::move(term);
+    return t;
+  }
+
+  bool IsVar() const { return kind == Kind::kVar; }
+
+  friend bool operator==(const PatternTerm&, const PatternTerm&) = default;
+
+  std::string ToString() const;
+};
+
+struct TriplePattern {
+  PatternTerm s, p, o;
+
+  /// Distinct variable names, in s/p/o order.
+  std::vector<std::string> Variables() const;
+  bool UsesVariable(const std::string& name) const;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) =
+      default;
+
+  std::string ToString() const;
+};
+
+/// A parsed SELECT query.
+struct ParsedQuery {
+  std::vector<std::string> select_vars;  ///< Empty when select_all.
+  bool select_all = false;               ///< SELECT *
+  std::vector<TriplePattern> patterns;
+
+  std::string ToString() const;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_SPARQL_QUERY_H_

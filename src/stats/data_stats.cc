@@ -1,0 +1,77 @@
+#include "stats/data_stats.h"
+
+#include <unordered_set>
+
+namespace parqo {
+namespace {
+
+// Resolves a constant pattern term against the dictionary;
+// kInvalidTermId means "cannot match anything".
+TermId ResolveConst(const PatternTerm& t, const Dictionary& dict) {
+  return dict.Lookup(t.term);
+}
+
+}  // namespace
+
+QueryStatistics ComputeStatisticsFromGraph(const JoinGraph& jg,
+                                           const RdfGraph& graph) {
+  QueryStatistics stats(jg);
+  const Dictionary& dict = graph.dict();
+
+  for (int tp = 0; tp < jg.num_tps(); ++tp) {
+    const TriplePattern& pat = jg.pattern(tp);
+    TermId cs = pat.s.IsVar() ? kInvalidTermId : ResolveConst(pat.s, dict);
+    TermId cp = pat.p.IsVar() ? kInvalidTermId : ResolveConst(pat.p, dict);
+    TermId co = pat.o.IsVar() ? kInvalidTermId : ResolveConst(pat.o, dict);
+    bool unmatchable = (!pat.s.IsVar() && cs == kInvalidTermId) ||
+                       (!pat.p.IsVar() && cp == kInvalidTermId) ||
+                       (!pat.o.IsVar() && co == kInvalidTermId);
+
+    std::size_t count = 0;
+    // One distinct-value set per variable of the pattern.
+    std::vector<std::unordered_set<TermId>> distinct(jg.VarsOf(tp).size());
+
+    if (!unmatchable) {
+      for (const Triple& t : graph.triples()) {
+        if (!pat.s.IsVar() && t.s != cs) continue;
+        if (!pat.p.IsVar() && t.p != cp) continue;
+        if (!pat.o.IsVar() && t.o != co) continue;
+        // Repeated-variable patterns (?x p ?x) require equal bindings.
+        bool ok = true;
+        if (pat.s.IsVar() && pat.o.IsVar() && pat.s.var == pat.o.var &&
+            t.s != t.o) {
+          ok = false;
+        }
+        if (pat.s.IsVar() && pat.p.IsVar() && pat.s.var == pat.p.var &&
+            t.s != t.p) {
+          ok = false;
+        }
+        if (pat.p.IsVar() && pat.o.IsVar() && pat.p.var == pat.o.var &&
+            t.p != t.o) {
+          ok = false;
+        }
+        if (!ok) continue;
+        ++count;
+        const std::vector<VarId>& vars = jg.VarsOf(tp);
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+          const std::string& name = jg.var_name(vars[i]);
+          if (pat.s.IsVar() && pat.s.var == name) distinct[i].insert(t.s);
+          if (pat.p.IsVar() && pat.p.var == name) distinct[i].insert(t.p);
+          if (pat.o.IsVar() && pat.o.var == name) distinct[i].insert(t.o);
+        }
+      }
+    }
+
+    double card = count == 0 ? 1.0 : static_cast<double>(count);
+    stats.SetCardinality(tp, card);
+    const std::vector<VarId>& vars = jg.VarsOf(tp);
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      double b = distinct[i].empty() ? 1.0
+                                     : static_cast<double>(distinct[i].size());
+      stats.SetBindings(tp, vars[i], b);
+    }
+  }
+  return stats;
+}
+
+}  // namespace parqo

@@ -1,0 +1,69 @@
+#include "stats/estimator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.h"
+
+namespace parqo {
+
+CardinalityEstimator::CardinalityEstimator(const JoinGraph& jg,
+                                           QueryStatistics stats)
+    : jg_(&jg), stats_(std::move(stats)) {}
+
+const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
+    TpSet sq) const {
+  PARQO_CHECK(!sq.Empty());
+  auto it = memo_.find(sq);
+  if (it != memo_.end()) return it->second;
+
+  Derived d;
+  d.bindings.assign(jg_->num_vars(), 0.0);
+
+  if (sq.Count() == 1) {
+    int tp = sq.First();
+    d.cardinality = stats_.Cardinality(tp);
+    for (VarId v : jg_->VarsOf(tp)) {
+      d.bindings[v] = std::min(stats_.Bindings(tp, v), d.cardinality);
+    }
+  } else {
+    // Eq. 11: fold the highest-index pattern into the rest. The recursion
+    // bottoms out at singletons and every prefix is memoized, so deriving
+    // all subqueries of a query costs O(#subqueries * #vars).
+    TpSet rest = sq;
+    // Remove the highest-index pattern: iterate to find it.
+    int last = -1;
+    for (int tp : sq) last = tp;
+    rest.Remove(last);
+    const Derived& lhs = Derive(rest);
+
+    double tp_card = stats_.Cardinality(last);
+    double denom = 1.0;
+    d.bindings = lhs.bindings;
+    for (VarId v : jg_->VarsOf(last)) {
+      double b_tp = std::min(stats_.Bindings(last, v), tp_card);
+      if (lhs.bindings[v] > 0) {
+        denom *= std::max(lhs.bindings[v], b_tp);  // shared variable
+        d.bindings[v] = std::min(lhs.bindings[v], b_tp);
+      } else {
+        d.bindings[v] = b_tp;
+      }
+    }
+    d.cardinality = lhs.cardinality * tp_card / denom;
+    if (d.cardinality < 1.0) d.cardinality = 1.0;
+    // Distinct bindings can never exceed the result cardinality.
+    for (double& b : d.bindings) b = std::min(b, d.cardinality);
+  }
+
+  return memo_.emplace(sq, std::move(d)).first->second;
+}
+
+double CardinalityEstimator::Cardinality(TpSet sq) const {
+  return Derive(sq).cardinality;
+}
+
+double CardinalityEstimator::Bindings(TpSet sq, VarId v) const {
+  return Derive(sq).bindings[v];
+}
+
+}  // namespace parqo

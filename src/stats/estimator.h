@@ -1,0 +1,51 @@
+// Cardinality estimation for subqueries, following Appendix B:
+//
+//   |tp1 JOIN tp2| = |tp1|*|tp2| / prod_{v shared} max(B(tp1,v), B(tp2,v))
+//
+// extended to n patterns by folding in a canonical order (Eq. 11). Folding
+// in ascending triple-pattern index makes the estimate a pure function of
+// the subquery bitset, so every optimizer sees identical statistics and
+// memoized plans can be compared across algorithms.
+
+#ifndef PARQO_STATS_ESTIMATOR_H_
+#define PARQO_STATS_ESTIMATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/tp_set.h"
+#include "query/join_graph.h"
+#include "stats/statistics.h"
+
+namespace parqo {
+
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const JoinGraph& jg, QueryStatistics stats);
+
+  /// Estimated cardinality of the join of the subquery's patterns.
+  /// Memoized; `sq` must be non-empty.
+  double Cardinality(TpSet sq) const;
+
+  /// Estimated distinct bindings of variable v in the subquery's result.
+  double Bindings(TpSet sq, VarId v) const;
+
+  const QueryStatistics& statistics() const { return stats_; }
+  const JoinGraph& join_graph() const { return *jg_; }
+
+ private:
+  struct Derived {
+    double cardinality = 1.0;
+    std::vector<double> bindings;  // per VarId; 0 when var absent
+  };
+
+  const Derived& Derive(TpSet sq) const;
+
+  const JoinGraph* jg_;
+  QueryStatistics stats_;
+  mutable std::unordered_map<TpSet, Derived, TpSetHash> memo_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_STATS_ESTIMATOR_H_

@@ -1,0 +1,34 @@
+// The fifteen benchmark queries of Section V (Table III): L1-L10 over the
+// LUBM-like dataset and U1-U5 over the UniProt-like dataset, taken from
+// the paper's appendix. Constants referring to generated entities are kept
+// in the original LUBM/UniProt naming scheme; the two adaptations (L5/L6
+// publication anchors use departments that exist at our scale) are noted
+// inline in the .cc.
+
+#ifndef PARQO_WORKLOAD_BENCHMARK_QUERIES_H_
+#define PARQO_WORKLOAD_BENCHMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "query/shape.h"
+
+namespace parqo {
+
+struct BenchmarkQuery {
+  std::string name;      ///< "L1" ... "L10", "U1" ... "U5".
+  std::string sparql;    ///< Full query text (PREFIX + SELECT + WHERE).
+  QueryShape shape;      ///< Table III's category.
+  int num_patterns;      ///< Table III's size.
+  bool lubm;             ///< true: LUBM dataset; false: UniProt.
+};
+
+/// All fifteen queries in Table III order.
+const std::vector<BenchmarkQuery>& AllBenchmarkQueries();
+
+/// Lookup by name; aborts on unknown names.
+const BenchmarkQuery& GetBenchmarkQuery(const std::string& name);
+
+}  // namespace parqo
+
+#endif  // PARQO_WORKLOAD_BENCHMARK_QUERIES_H_

@@ -1,0 +1,214 @@
+#include "workload/lubm.h"
+
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace parqo {
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(std::uint64_t seed) : rng_(seed) {}
+
+  TermId Iri(const std::string& iri) { return dict_.EncodeIri(iri); }
+  TermId Lit(const std::string& s) { return dict_.EncodeLiteral(s); }
+  TermId Ub(const std::string& local) {
+    return Iri(std::string(kUbPrefix) + local);
+  }
+
+  void Add(TermId s, TermId p, TermId o) {
+    triples_.push_back(Triple{s, p, o});
+  }
+
+  int Range(int lo, int hi) { return static_cast<int>(rng_.Uniform(lo, hi)); }
+  Rng& rng() { return rng_; }
+
+  RdfGraph Finish() {
+    return RdfGraph(std::move(dict_), std::move(triples_));
+  }
+
+ private:
+  Rng rng_;
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+};
+
+std::string DeptIri(int univ, int dept) {
+  return "http://www.Department" + std::to_string(dept) + ".University" +
+         std::to_string(univ) + ".edu";
+}
+
+}  // namespace
+
+RdfGraph GenerateLubm(const LubmConfig& cfg) {
+  Builder b(cfg.seed);
+
+  const TermId type = b.Iri(kRdfType);
+  const TermId c_university = b.Ub("University");
+  const TermId c_department = b.Ub("Department");
+  const TermId c_research_group = b.Ub("ResearchGroup");
+  const TermId c_full_prof = b.Ub("FullProfessor");
+  const TermId c_assoc_prof = b.Ub("AssociateProfessor");
+  const TermId c_grad_student = b.Ub("GraduateStudent");
+  const TermId c_undergrad = b.Ub("UndergraduateStudent");
+  const TermId c_grad_course = b.Ub("GraduateCourse");
+  const TermId c_course = b.Ub("Course");
+  const TermId c_publication = b.Ub("Publication");
+  const TermId p_suborg = b.Ub("subOrganizationOf");
+  const TermId p_works_for = b.Ub("worksFor");
+  const TermId p_teacher_of = b.Ub("teacherOf");
+  const TermId p_takes_course = b.Ub("takesCourse");
+  const TermId p_advisor = b.Ub("advisor");
+  const TermId p_member_of = b.Ub("memberOf");
+  const TermId p_ugdegree = b.Ub("undergraduateDegreeFrom");
+  const TermId p_pub_author = b.Ub("publicationAuthor");
+  const TermId p_name = b.Ub("name");
+
+  std::vector<TermId> universities;
+  for (int u = 0; u < cfg.universities; ++u) {
+    TermId univ = b.Iri("http://www.University" + std::to_string(u) +
+                        ".edu");
+    universities.push_back(univ);
+    b.Add(univ, type, c_university);
+    b.Add(univ, p_name, b.Lit("University" + std::to_string(u)));
+  }
+
+  for (int u = 0; u < cfg.universities; ++u) {
+    const TermId univ = universities[u];
+    const int departments = b.Range(cfg.min_departments,
+                                    cfg.max_departments);
+    for (int d = 0; d < departments; ++d) {
+      const std::string dept_iri = DeptIri(u, d);
+      const TermId dept = b.Iri(dept_iri);
+      b.Add(dept, type, c_department);
+      b.Add(dept, p_suborg, univ);
+      b.Add(dept, p_name, b.Lit("Department" + std::to_string(d)));
+
+      const int groups = b.Range(cfg.min_research_groups,
+                                 cfg.max_research_groups);
+      for (int g = 0; g < groups; ++g) {
+        TermId rg = b.Iri(dept_iri + "/ResearchGroup" + std::to_string(g));
+        b.Add(rg, type, c_research_group);
+        b.Add(rg, p_suborg, dept);
+      }
+
+      // Faculty: full professors first, then associates; both advise,
+      // teach, and author publications.
+      std::vector<TermId> professors;
+      std::vector<TermId> grad_courses;
+      std::vector<TermId> courses;
+      const int gcourses = b.Range(cfg.min_grad_courses,
+                                   cfg.max_grad_courses);
+      for (int c = 0; c < gcourses; ++c) {
+        TermId gc = b.Iri(dept_iri + "/GraduateCourse" + std::to_string(c));
+        b.Add(gc, type, c_grad_course);
+        grad_courses.push_back(gc);
+      }
+      const int ncourses = b.Range(cfg.min_courses, cfg.max_courses);
+      for (int c = 0; c < ncourses; ++c) {
+        TermId cc = b.Iri(dept_iri + "/Course" + std::to_string(c));
+        b.Add(cc, type, c_course);
+        courses.push_back(cc);
+      }
+
+      auto add_professor = [&](const std::string& stem, TermId cls,
+                               int index) {
+        const std::string prof_iri =
+            dept_iri + "/" + stem + std::to_string(index);
+        TermId prof = b.Iri(prof_iri);
+        b.Add(prof, type, cls);
+        b.Add(prof, p_works_for, dept);
+        b.Add(prof, p_name, b.Lit(stem + std::to_string(index)));
+        // Teaches one graduate and one undergraduate course.
+        b.Add(prof, p_teacher_of,
+              grad_courses[b.Range(0, gcourses - 1)]);
+        b.Add(prof, p_teacher_of, courses[b.Range(0, ncourses - 1)]);
+        const int pubs = b.Range(cfg.min_publications_per_prof,
+                                 cfg.max_publications_per_prof);
+        for (int k = 0; k < pubs; ++k) {
+          TermId pub =
+              b.Iri(prof_iri + "/Publication" + std::to_string(k));
+          b.Add(pub, type, c_publication);
+          b.Add(pub, p_pub_author, prof);
+          b.Add(pub, p_name,
+                b.Lit("Publication" + std::to_string(k) + " of " + stem +
+                      std::to_string(index)));
+        }
+        professors.push_back(prof);
+        return prof;
+      };
+
+      const int fulls = b.Range(cfg.min_full_professors,
+                                cfg.max_full_professors);
+      for (int f = 0; f < fulls; ++f) {
+        add_professor("FullProfessor", c_full_prof, f);
+      }
+      const int assocs = b.Range(cfg.min_associate_professors,
+                                 cfg.max_associate_professors);
+      for (int a = 0; a < assocs; ++a) {
+        add_professor("AssociateProfessor", c_assoc_prof, a);
+      }
+
+      const int grads = b.Range(cfg.min_grad_students,
+                                cfg.max_grad_students);
+      for (int s = 0; s < grads; ++s) {
+        const std::string stu_iri =
+            dept_iri + "/GraduateStudent" + std::to_string(s);
+        TermId stu = b.Iri(stu_iri);
+        b.Add(stu, type, c_grad_student);
+        b.Add(stu, p_member_of, dept);
+        TermId advisor = professors[b.Range(
+            0, static_cast<int>(professors.size()) - 1)];
+        b.Add(stu, p_advisor, advisor);
+        const int taken = b.Range(1, 3);
+        for (int t = 0; t < taken; ++t) {
+          b.Add(stu, p_takes_course,
+                grad_courses[b.Range(0, gcourses - 1)]);
+        }
+        // Graduate students sometimes take a course their advisor
+        // teaches, which keeps queries like L9/L10 non-empty.
+        if (b.rng().Bernoulli(0.5)) {
+          // The advisor teaches two courses; re-add one of them.
+          // (Approximation: take a random graduate course again.)
+          b.Add(stu, p_takes_course,
+                grad_courses[b.Range(0, gcourses - 1)]);
+        }
+        // Undergraduate degree: usually the same university.
+        TermId degree_univ =
+            b.rng().Bernoulli(0.7)
+                ? univ
+                : universities[b.Range(0, cfg.universities - 1)];
+        b.Add(stu, p_ugdegree, degree_univ);
+        // Some publications list the student as a co-author.
+        if (b.rng().Bernoulli(0.3)) {
+          TermId pub = b.Iri(dept_iri + "/FullProfessor0/Publication0");
+          b.Add(pub, p_pub_author, stu);
+        }
+      }
+
+      const int undergrads = b.Range(cfg.min_undergrad_students,
+                                     cfg.max_undergrad_students);
+      for (int s = 0; s < undergrads; ++s) {
+        const std::string stu_iri =
+            dept_iri + "/UndergraduateStudent" + std::to_string(s);
+        TermId stu = b.Iri(stu_iri);
+        b.Add(stu, type, c_undergrad);
+        b.Add(stu, p_member_of, dept);
+        b.Add(stu, p_advisor,
+              professors[b.Range(0, static_cast<int>(professors.size()) -
+                                        1)]);
+        const int taken = b.Range(1, 3);
+        for (int t = 0; t < taken; ++t) {
+          b.Add(stu, p_takes_course, courses[b.Range(0, ncourses - 1)]);
+        }
+      }
+    }
+  }
+
+  return b.Finish();
+}
+
+}  // namespace parqo

@@ -1,0 +1,47 @@
+// LUBM-like synthetic university dataset (Guo, Pan & Heflin's benchmark,
+// reference [24]) at laptop scale. The schema vocabulary, IRI naming
+// scheme, and entity relationships match what the paper's benchmark
+// queries L1-L10 (Appendix) touch, so those queries run verbatim against
+// the generated data. The paper used LUBM-10000 (1.38 G triples); the
+// scale here is the number of universities (see DESIGN.md on the
+// substitution).
+
+#ifndef PARQO_WORKLOAD_LUBM_H_
+#define PARQO_WORKLOAD_LUBM_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+
+namespace parqo {
+
+struct LubmConfig {
+  /// >= 7 keeps every benchmark-query constant (up to University6)
+  /// resolvable.
+  int universities = 8;
+  std::uint64_t seed = 42;
+
+  // Per-university / per-department entity count ranges.
+  int min_departments = 3, max_departments = 6;
+  int min_research_groups = 2, max_research_groups = 4;
+  int min_full_professors = 3, max_full_professors = 6;
+  int min_associate_professors = 2, max_associate_professors = 5;
+  int min_grad_students = 8, max_grad_students = 20;
+  int min_undergrad_students = 12, max_undergrad_students = 30;
+  int min_grad_courses = 4, max_grad_courses = 8;
+  int min_courses = 5, max_courses = 10;
+  int min_publications_per_prof = 2, max_publications_per_prof = 5;
+};
+
+/// The LUBM namespace prefix used by the generator and queries.
+inline constexpr char kUbPrefix[] =
+    "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+RdfGraph GenerateLubm(const LubmConfig& config);
+
+}  // namespace parqo
+
+#endif  // PARQO_WORKLOAD_LUBM_H_

@@ -1,0 +1,135 @@
+#include "workload/random_query.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "query/join_graph.h"
+
+namespace parqo {
+namespace {
+
+std::string VarName(int i) { return "v" + std::to_string(i); }
+
+TriplePattern MakePattern(const std::string& subject_var, int predicate,
+                          const std::string& object_var) {
+  TriplePattern tp;
+  tp.s = PatternTerm::Var(subject_var);
+  tp.p = PatternTerm::Const(
+      Term::Iri("http://parqo.dev/p/" + std::to_string(predicate)));
+  tp.o = PatternTerm::Var(object_var);
+  return tp;
+}
+
+std::vector<TriplePattern> BuildStructure(QueryShape shape, int n,
+                                          Rng& rng) {
+  std::vector<TriplePattern> patterns;
+  switch (shape) {
+    case QueryShape::kStar: {
+      // All patterns share one center variable, in random direction.
+      for (int i = 0; i < n; ++i) {
+        std::string leaf = "x" + std::to_string(i);
+        if (rng.Bernoulli(0.5)) {
+          patterns.push_back(MakePattern("c", i, leaf));
+        } else {
+          patterns.push_back(MakePattern(leaf, i, "c"));
+        }
+      }
+      break;
+    }
+    case QueryShape::kChain: {
+      for (int i = 0; i < n; ++i) {
+        patterns.push_back(MakePattern(VarName(i), i, VarName(i + 1)));
+      }
+      break;
+    }
+    case QueryShape::kCycle: {
+      for (int i = 0; i < n; ++i) {
+        patterns.push_back(MakePattern(VarName(i), i, VarName((i + 1) % n)));
+      }
+      break;
+    }
+    case QueryShape::kTree: {
+      // Grow a random tree over the join graph: each new pattern shares
+      // one variable with an earlier pattern and introduces a fresh one.
+      int next_var = 1;
+      patterns.push_back(MakePattern(VarName(0), 0, VarName(next_var++)));
+      for (int i = 1; i < n; ++i) {
+        int u = static_cast<int>(rng.Uniform(0, next_var - 1));
+        int w = next_var++;
+        if (rng.Bernoulli(0.5)) {
+          patterns.push_back(MakePattern(VarName(u), i, VarName(w)));
+        } else {
+          patterns.push_back(MakePattern(VarName(w), i, VarName(u)));
+        }
+      }
+      break;
+    }
+    case QueryShape::kDense: {
+      // A random tree plus chords between existing variables.
+      int tree_tps = std::max(2, n - std::max(1, n / 3));
+      int next_var = 1;
+      patterns.push_back(MakePattern(VarName(0), 0, VarName(next_var++)));
+      for (int i = 1; i < tree_tps; ++i) {
+        int u = static_cast<int>(rng.Uniform(0, next_var - 1));
+        int w = next_var++;
+        patterns.push_back(MakePattern(VarName(u), i, VarName(w)));
+      }
+      for (int i = tree_tps; i < n; ++i) {
+        int u = static_cast<int>(rng.Uniform(0, next_var - 1));
+        int w = static_cast<int>(rng.Uniform(0, next_var - 1));
+        while (w == u) w = static_cast<int>(rng.Uniform(0, next_var - 1));
+        patterns.push_back(MakePattern(VarName(u), i, VarName(w)));
+      }
+      break;
+    }
+    default:
+      PARQO_CHECK(false && "unsupported shape request");
+  }
+  return patterns;
+}
+
+}  // namespace
+
+QueryStatistics GeneratedQuery::MakeStats(const JoinGraph& jg) const {
+  QueryStatistics stats(jg);
+  for (int tp = 0; tp < jg.num_tps(); ++tp) {
+    stats.SetCardinality(tp, cardinalities[tp]);
+    for (const auto& [name, b] : bindings[tp]) {
+      VarId v = jg.FindVar(name);
+      PARQO_CHECK(v != kInvalidVarId);
+      stats.SetBindings(tp, v, b);
+    }
+  }
+  return stats;
+}
+
+GeneratedQuery GenerateRandomQuery(QueryShape shape, int num_tps, Rng& rng,
+                                   int max_cardinality) {
+  PARQO_CHECK(num_tps >= 2 && num_tps <= TpSet::kMaxSize);
+
+  std::vector<TriplePattern> patterns;
+  // Tree/dense growth is randomized; redraw until the classifier agrees
+  // (bounded; the structures converge quickly for n >= 4).
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    patterns = BuildStructure(shape, num_tps, rng);
+    JoinGraph jg(patterns);
+    if (ClassifyShape(jg) == shape || attempt == 31) break;
+  }
+
+  GeneratedQuery out;
+  out.patterns = patterns;
+  out.cardinalities.reserve(patterns.size());
+  out.bindings.resize(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    double card = static_cast<double>(rng.Uniform(1, max_cardinality));
+    out.cardinalities.push_back(card);
+    for (const std::string& var : patterns[i].Variables()) {
+      double b = static_cast<double>(
+          rng.Uniform(1, static_cast<std::int64_t>(card)));
+      out.bindings[i].emplace_back(var, b);
+    }
+  }
+  return out;
+}
+
+}  // namespace parqo

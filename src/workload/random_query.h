@@ -1,0 +1,42 @@
+// The paper's random query generator (Section V-A): produces star, chain,
+// cycle, tree, and dense queries of a requested size, with cardinalities
+// drawn uniformly from [1, max_cardinality] and per-variable binding
+// counts from [1, cardinality]. These drive the search-space study
+// (Table VII) and the optimization-time / plan-cost figures (7 and 8).
+
+#ifndef PARQO_WORKLOAD_RANDOM_QUERY_H_
+#define PARQO_WORKLOAD_RANDOM_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/shape.h"
+#include "sparql/query.h"
+#include "stats/statistics.h"
+
+namespace parqo {
+
+/// A generated query plus its synthetic statistics. The statistics are
+/// keyed by variable name so they can be replayed onto the JoinGraph's
+/// VarIds once it exists (see MakeStats).
+struct GeneratedQuery {
+  std::vector<TriplePattern> patterns;
+  std::vector<double> cardinalities;  // per pattern
+  /// Per pattern: (variable name, binding count) pairs.
+  std::vector<std::vector<std::pair<std::string, double>>> bindings;
+
+  QueryStatistics MakeStats(const JoinGraph& jg) const;
+};
+
+/// Generates a connected query of `shape` with `num_tps` patterns.
+/// Shapes kSingle/kDisconnected are invalid requests. Tree and dense
+/// shapes are randomized and re-drawn a few times until classification
+/// matches; the final query always has the requested size and is
+/// connected.
+GeneratedQuery GenerateRandomQuery(QueryShape shape, int num_tps, Rng& rng,
+                                   int max_cardinality = 1000);
+
+}  // namespace parqo
+
+#endif  // PARQO_WORKLOAD_RANDOM_QUERY_H_

@@ -1,0 +1,247 @@
+#include "workload/uniprot.h"
+
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "workload/lubm.h"  // kRdfType
+
+namespace parqo {
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(std::uint64_t seed) : rng_(seed) {}
+
+  TermId Iri(const std::string& iri) { return dict_.EncodeIri(iri); }
+  TermId Lit(const std::string& s) { return dict_.EncodeLiteral(s); }
+  TermId Uni(const std::string& local) {
+    return Iri(std::string(kUniPrefix) + local);
+  }
+  TermId Rdfs(const std::string& local) {
+    return Iri(std::string(kRdfsPrefix) + local);
+  }
+
+  void Add(TermId s, TermId p, TermId o) {
+    triples_.push_back(Triple{s, p, o});
+  }
+  int Range(int lo, int hi) { return static_cast<int>(rng_.Uniform(lo, hi)); }
+  Rng& rng() { return rng_; }
+
+  RdfGraph Finish() {
+    return RdfGraph(std::move(dict_), std::move(triples_));
+  }
+
+ private:
+  Rng rng_;
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+};
+
+std::string ProteinIri(int i) {
+  return "http://purl.uniprot.org/uniprot/P" + std::to_string(i);
+}
+
+}  // namespace
+
+RdfGraph GenerateUniprot(const UniprotConfig& cfg) {
+  Builder b(cfg.seed);
+
+  const TermId type = b.Iri(kRdfType);
+  const TermId c_protein = b.Uni("Protein");
+  const TermId c_interaction = b.Uni("Interaction");
+  const TermId c_disease_ann = b.Uni("Disease_Annotation");
+  const TermId c_function_ann = b.Uni("Function_Annotation");
+  const TermId p_organism = b.Uni("organism");
+  const TermId p_enzyme = b.Uni("enzyme");
+  const TermId p_annotation = b.Uni("annotation");
+  const TermId p_comment = b.Rdfs("comment");
+  const TermId p_see_also_rdfs = b.Rdfs("seeAlso");
+  const TermId p_see_also_schema = b.Rdfs("seeAlso");
+  const TermId p_database = b.Uni("database");
+  const TermId p_encoded_by = b.Uni("encodedBy");
+  const TermId p_classified = b.Uni("classifiedWith");
+  const TermId p_replaces = b.Uni("replaces");
+  const TermId p_replaced_by = b.Uni("replacedBy");
+  const TermId p_participant = b.Uni("participant");
+  const TermId p_range = b.Uni("range");
+
+  // Shared vocabulary individuals.
+  std::vector<TermId> taxa;
+  for (int t = 0; t < cfg.taxa; ++t) {
+    // taxon 9606 (human) is index 0 and is picked most often (skew).
+    int code = t == 0 ? 9606 : 10000 + t;
+    taxa.push_back(b.Iri(std::string(kTaxonPrefix) + std::to_string(code)));
+  }
+  std::vector<TermId> enzymes;
+  enzymes.push_back(b.Iri("http://purl.uniprot.org/enzyme/2.7.7.-"));
+  enzymes.push_back(b.Iri("http://purl.uniprot.org/enzyme/3.1.3.16"));
+  for (int e = 2; e < cfg.enzyme_classes; ++e) {
+    enzymes.push_back(b.Iri("http://purl.uniprot.org/enzyme/1.1.1." +
+                            std::to_string(e)));
+  }
+  std::vector<TermId> keywords;
+  keywords.push_back(b.Iri("http://purl.uniprot.org/keywords/67"));
+  for (int k = 1; k < cfg.keywords; ++k) {
+    keywords.push_back(
+        b.Iri("http://purl.uniprot.org/keywords/" + std::to_string(100 + k)));
+  }
+  std::vector<TermId> databases;
+  for (int d = 0; d < cfg.databases; ++d) {
+    databases.push_back(
+        b.Iri("http://purl.uniprot.org/database/DB" + std::to_string(d)));
+  }
+  // Cross-reference targets U1 filters on.
+  const TermId ref_refseq =
+      b.Iri("http://purl.uniprot.org/refseq/NP_346136.1");
+  const TermId ref_tigr = b.Iri("http://purl.uniprot.org/tigr/SP_1698");
+  const TermId ref_pfam = b.Iri("http://purl.uniprot.org/pfam/PF00842");
+  const TermId ref_prints = b.Iri("http://purl.uniprot.org/prints/PR00992");
+  const TermId ref_embl =
+      b.Iri("http://purl.uniprot.org/embl-cds/AAN81952.1");
+
+  std::vector<TermId> proteins;
+  proteins.reserve(cfg.proteins);
+  for (int i = 0; i < cfg.proteins; ++i) {
+    proteins.push_back(b.Iri(ProteinIri(i)));
+  }
+
+  for (int i = 0; i < cfg.proteins; ++i) {
+    const TermId prot = proteins[i];
+    b.Add(prot, type, c_protein);
+    b.Add(prot, p_organism,
+          taxa[static_cast<std::size_t>(b.rng().Skewed(cfg.taxa))]);
+    b.Add(prot, p_encoded_by,
+          b.Iri("http://purl.uniprot.org/gene/G" + std::to_string(i)));
+
+    // Enzyme classes: ~1/3 of proteins are enzymes; the first two classes
+    // (U3's constants) are intentionally common.
+    if (b.rng().Bernoulli(0.35)) {
+      b.Add(prot, p_enzyme,
+            enzymes[static_cast<std::size_t>(
+                b.rng().Skewed(cfg.enzyme_classes))]);
+    }
+
+    const int keyword_count = b.Range(1, 3);
+    for (int k = 0; k < keyword_count; ++k) {
+      b.Add(prot, p_classified,
+            keywords[static_cast<std::size_t>(b.rng().Skewed(cfg.keywords))]);
+    }
+
+    // Annotations; some are disease annotations with comments and ranges.
+    const int annotations = b.Range(1, 4);
+    for (int a = 0; a < annotations; ++a) {
+      TermId ann = b.Iri(ProteinIri(i) + "#annotation" + std::to_string(a));
+      b.Add(prot, p_annotation, ann);
+      b.Add(ann, type,
+            b.rng().Bernoulli(0.3) ? c_disease_ann : c_function_ann);
+      b.Add(ann, p_comment,
+            b.Lit("annotation " + std::to_string(a) + " of protein " +
+                  std::to_string(i)));
+      if (b.rng().Bernoulli(0.5)) {
+        b.Add(ann, p_range,
+              b.Iri(ProteinIri(i) + "#range" + std::to_string(a)));
+      }
+    }
+
+    // rdfs:seeAlso link nodes with source databases (U2's tail).
+    const int links = b.Range(1, 3);
+    for (int l = 0; l < links; ++l) {
+      TermId link = b.Iri("http://purl.uniprot.org/xref/X" +
+                          std::to_string(i) + "_" + std::to_string(l));
+      b.Add(prot, p_see_also_rdfs, link);
+      b.Add(link, p_database,
+            databases[static_cast<std::size_t>(
+                b.rng().Skewed(cfg.databases))]);
+    }
+
+    // Specific cross-references for U1 and U4: a slice of proteins gets
+    // each; protein 0 gets all four U1 targets.
+    if (i == 0 || b.rng().Bernoulli(0.02)) {
+      b.Add(prot, p_see_also_schema, ref_refseq);
+    }
+    if (i == 0 || b.rng().Bernoulli(0.02)) {
+      b.Add(prot, p_see_also_schema, ref_tigr);
+    }
+    if (i == 0 || b.rng().Bernoulli(0.05)) {
+      b.Add(prot, p_see_also_schema, ref_pfam);
+    }
+    if (i == 0 || b.rng().Bernoulli(0.05)) {
+      b.Add(prot, p_see_also_schema, ref_prints);
+    }
+    if (i % 97 == 3 || b.rng().Bernoulli(0.01)) {
+      b.Add(prot, p_see_also_schema, ref_embl);
+    }
+  }
+
+  // Version chains: P -replacedBy-> A, A -replaces-> AB (and inverse),
+  // AB -replacedBy-> B ... exactly the U2 traversal.
+  const int chains =
+      static_cast<int>(cfg.proteins * cfg.replaced_rate);
+  for (int c = 0; c < chains; ++c) {
+    const int base = b.Range(0, cfg.proteins - 1);
+    const int len = b.Range(2, 4);
+    // The base protein also replaces an older entry, so patterns like
+    // U3's "?p1 uni:replaces ?p3" bind for current proteins.
+    TermId old_version = b.Iri(ProteinIri(base) + ".v0");
+    b.Add(proteins[base], p_replaces, old_version);
+    b.Add(old_version, p_replaced_by, proteins[base]);
+    TermId prev = proteins[base];
+    for (int v = 0; v < len; ++v) {
+      TermId next = b.Iri(ProteinIri(base) + ".v" + std::to_string(v + 1));
+      b.Add(prev, p_replaced_by, next);
+      b.Add(next, p_replaces, prev);
+      prev = next;
+    }
+    // Chain tails also carry seeAlso links so U2 yields bindings.
+    TermId link = b.Iri("http://purl.uniprot.org/xref/Chain" +
+                        std::to_string(c));
+    b.Add(prev, p_see_also_rdfs, link);
+    b.Add(link, p_database,
+          databases[static_cast<std::size_t>(b.rng().Skewed(cfg.databases))]);
+  }
+  // Guaranteed U4 witness: protein 3 already has the embl-cds reference
+  // (3 % 97 == 3); give it the keyword and a version chain too.
+  if (cfg.proteins > 3) {
+    b.Add(proteins[3], p_classified, keywords[0]);
+    TermId old_version = b.Iri(ProteinIri(3) + ".v0");
+    b.Add(proteins[3], p_replaces, old_version);
+    b.Add(old_version, p_replaced_by, proteins[3]);
+  }
+
+  // The named protein of U2 with a guaranteed deep chain.
+  {
+    TermId q = b.Iri("http://purl.uniprot.org/uniprot/Q4N2B5");
+    b.Add(q, type, c_protein);
+    TermId prev = q;
+    for (int v = 0; v < 3; ++v) {
+      TermId next = b.Iri("http://purl.uniprot.org/uniprot/Q4N2B5.v" +
+                          std::to_string(v + 1));
+      b.Add(prev, p_replaced_by, next);
+      b.Add(next, p_replaces, prev);
+      TermId link =
+          b.Iri("http://purl.uniprot.org/xref/Q4N2B5_" + std::to_string(v));
+      b.Add(next, p_see_also_rdfs, link);
+      b.Add(link, p_database, databases[0]);
+      prev = next;
+    }
+  }
+
+  // Interactions between proteins (U3).
+  const int interactions =
+      static_cast<int>(cfg.proteins * cfg.interaction_rate);
+  for (int x = 0; x < interactions; ++x) {
+    TermId inter =
+        b.Iri("http://purl.uniprot.org/intact/EBI-" + std::to_string(x));
+    b.Add(inter, type, c_interaction);
+    int a = b.Range(0, cfg.proteins - 1);
+    int c = b.Range(0, cfg.proteins - 1);
+    b.Add(inter, p_participant, proteins[a]);
+    b.Add(inter, p_participant, proteins[c]);
+  }
+
+  return b.Finish();
+}
+
+}  // namespace parqo

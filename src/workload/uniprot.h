@@ -1,0 +1,40 @@
+// UniProt-like synthetic protein dataset. The real UniProt RDF export
+// (2 G triples in the paper) is not redistributable at that scale; this
+// generator reproduces the sub-schema that queries U1-U5 (Appendix)
+// traverse: proteins with organisms, enzymes, annotations (including
+// disease annotations with comments and ranges), encodedBy genes,
+// interactions with participants, keyword classifications, versioned
+// replaces/replacedBy chains, and seeAlso cross-references with source
+// databases.
+
+#ifndef PARQO_WORKLOAD_UNIPROT_H_
+#define PARQO_WORKLOAD_UNIPROT_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+
+namespace parqo {
+
+struct UniprotConfig {
+  int proteins = 3000;
+  std::uint64_t seed = 43;
+
+  int taxa = 40;               ///< Distinct organisms (9606 is common).
+  int enzyme_classes = 30;     ///< Including 2.7.7.- and 3.1.3.16.
+  int keywords = 100;          ///< Including keywords/67.
+  int databases = 12;
+  double interaction_rate = 0.6;  ///< Interactions per protein.
+  double replaced_rate = 0.25;    ///< Proteins with version chains.
+};
+
+inline constexpr char kUniPrefix[] = "http://purl.uniprot.org/core/";
+inline constexpr char kRdfsPrefix[] = "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr char kTaxonPrefix[] = "http://purl.uniprot.org/taxonomy/";
+
+RdfGraph GenerateUniprot(const UniprotConfig& config);
+
+}  // namespace parqo
+
+#endif  // PARQO_WORKLOAD_UNIPROT_H_

@@ -1,0 +1,144 @@
+#include "workload/watdiv.h"
+
+#include <string>
+#include <vector>
+
+namespace parqo {
+namespace {
+
+// A slice of the WatDiv e-commerce schema: (subject class, predicate,
+// object class). Classes index into kClasses.
+constexpr const char* kClasses[] = {
+    "User",   "Product", "Review",  "Retailer", "Website",
+    "Genre",  "City",    "Country", "Offer",    "Purchase",
+};
+constexpr int kNumClasses = 10;
+
+struct SchemaEdge {
+  int subject_class;
+  const char* predicate;
+  int object_class;
+};
+
+constexpr SchemaEdge kSchema[] = {
+    {0, "follows", 0},         {0, "friendOf", 0},
+    {0, "likes", 1},           {0, "makesPurchase", 9},
+    {0, "subscribesTo", 4},    {0, "userCity", 6},
+    {2, "reviewFor", 1},       {2, "reviewer", 0},
+    {2, "ratingSite", 4},      {1, "hasGenre", 5},
+    {1, "producedBy", 3},      {3, "homepage", 4},
+    {3, "retailerCountry", 7}, {8, "offerProduct", 1},
+    {8, "offerRetailer", 3},   {9, "purchaseFor", 1},
+    {6, "cityCountry", 7},     {5, "parentGenre", 5},
+    {1, "relatedTo", 1},       {4, "hostedIn", 7},
+};
+constexpr int kNumSchemaEdges = 20;
+
+std::string PredIri(const char* predicate) {
+  return std::string("http://db.uwaterloo.ca/watdiv/") + predicate;
+}
+
+}  // namespace
+
+std::vector<WatdivTemplate> GenerateWatdivTemplates(int count, Rng& rng) {
+  std::vector<WatdivTemplate> out;
+  out.reserve(count);
+  for (int id = 0; id < count; ++id) {
+    WatdivTemplate tmpl;
+    tmpl.id = id;
+    const int size = static_cast<int>(rng.Uniform(2, 10));
+
+    // Pattern-graph nodes: (variable name, schema class).
+    struct Node {
+      std::string var;
+      int cls;
+    };
+    std::vector<Node> nodes;
+    int next_var = 0;
+    auto new_node = [&](int cls) {
+      nodes.push_back(Node{"v" + std::to_string(next_var++), cls});
+      return static_cast<int>(nodes.size()) - 1;
+    };
+    new_node(static_cast<int>(rng.Uniform(0, kNumClasses - 1)));
+
+    int guard = 0;
+    while (static_cast<int>(tmpl.patterns.size()) < size &&
+           ++guard < 1000) {
+      // Random-walk step: pick an existing node (bias to the newest for
+      // chains, to the first for stars) and a schema edge touching its
+      // class, in either direction.
+      int at;
+      double roll = rng.UniformDouble();
+      if (roll < 0.5) {
+        at = static_cast<int>(nodes.size()) - 1;  // extend the walk
+      } else if (roll < 0.8) {
+        at = 0;  // branch from the root (star-ness)
+      } else {
+        at = static_cast<int>(rng.Uniform(0, nodes.size() - 1));
+      }
+      std::vector<int> forward, backward;
+      for (int e = 0; e < kNumSchemaEdges; ++e) {
+        if (kSchema[e].subject_class == nodes[at].cls) forward.push_back(e);
+        if (kSchema[e].object_class == nodes[at].cls) backward.push_back(e);
+      }
+      if (forward.empty() && backward.empty()) break;
+      bool go_forward =
+          !forward.empty() &&
+          (backward.empty() || rng.Bernoulli(0.6));
+      int e = go_forward
+                  ? forward[rng.Uniform(0, forward.size() - 1)]
+                  : backward[rng.Uniform(0, backward.size() - 1)];
+      int other = new_node(go_forward ? kSchema[e].object_class
+                                      : kSchema[e].subject_class);
+      TriplePattern tp;
+      const Node& subject = go_forward ? nodes[at] : nodes[other];
+      const Node& object = go_forward ? nodes[other] : nodes[at];
+      tp.s = PatternTerm::Var(subject.var);
+      tp.p = PatternTerm::Const(Term::Iri(PredIri(kSchema[e].predicate)));
+      tp.o = PatternTerm::Var(object.var);
+      // The fresh leaf node occasionally binds to a constant, like
+      // WatDiv's parameterized placeholders. Only the *new* endpoint may
+      // be replaced — the walk endpoint is what keeps the query
+      // connected.
+      if (rng.Bernoulli(0.2) &&
+          static_cast<int>(tmpl.patterns.size()) + 1 == size) {
+        const Node& fresh = nodes[other];
+        PatternTerm constant = PatternTerm::Const(Term::Iri(
+            "http://db.uwaterloo.ca/watdiv/entity/" +
+            std::string(kClasses[fresh.cls]) +
+            std::to_string(rng.Uniform(0, 999))));
+        if (go_forward) {
+          tp.o = constant;
+        } else {
+          tp.s = constant;
+        }
+      }
+      tmpl.patterns.push_back(std::move(tp));
+    }
+    if (tmpl.patterns.size() < 2) {
+      --id;  // re-draw degenerate walks
+      continue;
+    }
+    out.push_back(std::move(tmpl));
+  }
+  return out;
+}
+
+GeneratedQuery InstantiateWatdivTemplate(const WatdivTemplate& tmpl,
+                                         Rng& rng) {
+  GeneratedQuery out;
+  out.patterns = tmpl.patterns;
+  out.bindings.resize(out.patterns.size());
+  for (std::size_t i = 0; i < out.patterns.size(); ++i) {
+    double card = static_cast<double>(rng.Uniform(1, 1000));
+    out.cardinalities.push_back(card);
+    for (const std::string& var : out.patterns[i].Variables()) {
+      out.bindings[i].emplace_back(
+          var, static_cast<double>(
+                   rng.Uniform(1, static_cast<std::int64_t>(card))));
+    }
+  }
+  return out;
+}
+
+}  // namespace parqo

@@ -1,0 +1,36 @@
+// WatDiv-like stress-test workload (Aluc et al., ISWC 2014; reference
+// [27]). The paper uses WatDiv's 124 structurally diverse query templates
+// (each instantiated 100 times) purely to stress the *optimizers* —
+// Figure 6 reports optimization time and plan-cost CDFs, not data results.
+// This generator reproduces that setup: templates are random walks with
+// occasional branching over an e-commerce schema graph (the WatDiv
+// domain: users, products, reviews, retailers, ...), so most templates
+// are stars or joins of a few stars, exactly the structural mix the paper
+// observes; instances attach randomized statistics.
+
+#ifndef PARQO_WORKLOAD_WATDIV_H_
+#define PARQO_WORKLOAD_WATDIV_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/random_query.h"
+
+namespace parqo {
+
+struct WatdivTemplate {
+  int id = 0;
+  std::vector<TriplePattern> patterns;
+};
+
+/// Generates `count` templates (the paper uses 124) with sizes 2..10.
+std::vector<WatdivTemplate> GenerateWatdivTemplates(int count, Rng& rng);
+
+/// One instance of a template: same structure, fresh random statistics
+/// (cardinalities in [1, 1000], bindings in [1, cardinality]).
+GeneratedQuery InstantiateWatdivTemplate(const WatdivTemplate& tmpl,
+                                         Rng& rng);
+
+}  // namespace parqo
+
+#endif  // PARQO_WORKLOAD_WATDIV_H_

@@ -1,0 +1,108 @@
+// Cost-model calibration: recovering Table II coefficients from
+// synthetic operator timings.
+
+#include "cost/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace parqo {
+namespace {
+
+CalibrationSample MakeSample(JoinMethod method, const CostParams& truth,
+                             Rng& rng, double noise) {
+  CalibrationSample s;
+  s.method = method;
+  int k = static_cast<int>(rng.Uniform(2, 4));
+  for (int i = 0; i < k; ++i) {
+    s.input_cards.push_back(static_cast<double>(rng.Uniform(100, 100000)));
+  }
+  s.output_card = static_cast<double>(rng.Uniform(10, 500000));
+  CostModel model(truth);
+  s.seconds = model.JoinOpCost(method, s.input_cards, s.output_card) *
+              (1.0 + noise * (rng.UniformDouble() - 0.5));
+  return s;
+}
+
+TEST(CalibrateTest, RecoversExactCoefficientsWithoutNoise) {
+  CostParams truth;
+  truth.alpha = 0.02;
+  truth.beta_broadcast = 0.05;
+  truth.beta_repartition = 0.1;
+  truth.gamma_local = 0.004;
+  truth.gamma_broadcast = 0.008;
+  truth.gamma_repartition = 0.005;
+  truth.num_nodes = 10;
+
+  Rng rng(77);
+  std::vector<CalibrationSample> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back(MakeSample(JoinMethod::kLocal, truth, rng, 0));
+    samples.push_back(MakeSample(JoinMethod::kBroadcast, truth, rng, 0));
+    samples.push_back(MakeSample(JoinMethod::kRepartition, truth, rng, 0));
+  }
+  CostParams initial;
+  initial.num_nodes = 10;
+  CostParams fitted = CalibrateCostParams(samples, initial);
+
+  EXPECT_NEAR(fitted.alpha, truth.alpha, 1e-6);
+  EXPECT_NEAR(fitted.beta_broadcast, truth.beta_broadcast, 1e-6);
+  EXPECT_NEAR(fitted.beta_repartition, truth.beta_repartition, 1e-6);
+  EXPECT_NEAR(fitted.gamma_local, truth.gamma_local, 1e-6);
+  EXPECT_NEAR(fitted.gamma_broadcast, truth.gamma_broadcast, 1e-6);
+  EXPECT_NEAR(fitted.gamma_repartition, truth.gamma_repartition, 1e-6);
+}
+
+TEST(CalibrateTest, ToleratesNoise) {
+  CostParams truth;
+  truth.num_nodes = 10;  // defaults are the Table II values
+  Rng rng(78);
+  std::vector<CalibrationSample> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(MakeSample(JoinMethod::kBroadcast, truth, rng, 0.2));
+    samples.push_back(
+        MakeSample(JoinMethod::kRepartition, truth, rng, 0.2));
+  }
+  CostParams fitted = CalibrateCostParams(samples, truth);
+  EXPECT_NEAR(fitted.beta_broadcast, truth.beta_broadcast,
+              truth.beta_broadcast * 0.3);
+  EXPECT_NEAR(fitted.beta_repartition, truth.beta_repartition,
+              truth.beta_repartition * 0.3);
+}
+
+TEST(CalibrateTest, KeepsInitialWhenUnderdetermined) {
+  CostParams initial;
+  initial.beta_broadcast = 0.123;
+  std::vector<CalibrationSample> samples;  // only 1 broadcast sample
+  CalibrationSample s;
+  s.method = JoinMethod::kBroadcast;
+  s.input_cards = {10, 20};
+  s.output_card = 5;
+  s.seconds = 1;
+  samples.push_back(s);
+  CostParams fitted = CalibrateCostParams(samples, initial);
+  EXPECT_DOUBLE_EQ(fitted.beta_broadcast, 0.123);
+}
+
+TEST(CalibrateTest, CoefficientsAreNeverNegative) {
+  // Adversarial samples: zero-time executions force the fit toward 0.
+  std::vector<CalibrationSample> samples;
+  Rng rng(79);
+  for (int i = 0; i < 20; ++i) {
+    CalibrationSample s;
+    s.method = JoinMethod::kRepartition;
+    s.input_cards = {static_cast<double>(rng.Uniform(1, 100)),
+                     static_cast<double>(rng.Uniform(1, 100))};
+    s.output_card = static_cast<double>(rng.Uniform(1, 100));
+    s.seconds = 0;
+    samples.push_back(s);
+  }
+  CostParams fitted = CalibrateCostParams(samples, CostParams{});
+  EXPECT_GE(fitted.alpha, 0);
+  EXPECT_GE(fitted.beta_repartition, 0);
+  EXPECT_GE(fitted.gamma_repartition, 0);
+}
+
+}  // namespace
+}  // namespace parqo

@@ -1,0 +1,179 @@
+// Algorithm 2 (connected binary-division enumeration): the Figure 4 /
+// Example 6 running example, completeness and uniqueness against brute
+// force (Theorem 1), and property sweeps over random queries.
+
+#include "optimizer/cbd_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "workload/random_query.h"
+
+namespace parqo {
+namespace {
+
+using testing::BruteForceCbds;
+using testing::CanonicalCbd;
+using testing::Figure4Query;
+
+std::set<std::pair<std::uint64_t, std::uint64_t>> EnumerateToSet(
+    const JoinGraph& jg, TpSet q, VarId vj, int* count = nullptr) {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> out;
+  EnumerateCbds(jg, q, vj, [&](TpSet a, TpSet b) {
+    auto [x, y] = CanonicalCbd(q, a, b);
+    bool inserted = out.emplace(x.bits(), y.bits()).second;
+    EXPECT_TRUE(inserted) << "cbd emitted twice: " << a.ToString() << " | "
+                          << b.ToString();
+    if (count != nullptr) ++*count;
+    return true;
+  });
+  return out;
+}
+
+TEST(CbdTest, Figure4RunningExample) {
+  JoinGraph jg(Figure4Query());
+  VarId vj = jg.FindVar("vj");
+  ASSERT_NE(vj, kInvalidVarId);
+  ASSERT_EQ(jg.Ntp(vj).Count(), 4);  // tp1, tp3, tp5, tp9
+
+  // The components of Figure 4 after removing vj.
+  auto comps = jg.ComponentsExcluding(jg.AllTps(), vj);
+  ASSERT_EQ(comps.size(), 3u);
+  int indivisible = 0, divisible = 0;
+  for (TpSet c : comps) {
+    if ((c & jg.Ntp(vj)).Count() == 1) {
+      ++indivisible;
+      EXPECT_EQ(c.Count(), 2);  // {tp1,tp2} and {tp3,tp4}
+    } else {
+      ++divisible;
+      EXPECT_EQ(c.Count(), 5);  // {tp5..tp9}
+    }
+  }
+  EXPECT_EQ(indivisible, 2);
+  EXPECT_EQ(divisible, 1);
+
+  int count = 0;
+  auto got = EnumerateToSet(jg, jg.AllTps(), vj, &count);
+  auto expected = BruteForceCbds(jg, jg.AllTps(), vj);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(static_cast<std::size_t>(count), expected.size());
+
+  // Example 6's concrete divisions must be among them. Paper indexes are
+  // 1-based: tp1..tp9 -> bits 0..8.
+  auto has = [&](std::initializer_list<int> side) {
+    TpSet a;
+    for (int tp : side) a.Add(tp - 1);
+    auto [x, y] = CanonicalCbd(jg.AllTps(), a, jg.AllTps() - a);
+    return got.count({x.bits(), y.bits()}) > 0;
+  };
+  EXPECT_TRUE(has({1, 2}));           // ({tp1,tp2}, rest)
+  EXPECT_TRUE(has({1, 2, 5}));        // ({tp1,tp2,tp5}, rest)
+  EXPECT_TRUE(has({1, 2, 5, 6, 7}));  // ({tp1,tp2,tp5,tp6,tp7}, rest)
+}
+
+TEST(CbdTest, EveryEmittedCbdSatisfiesDefinition3) {
+  JoinGraph jg(Figure4Query());
+  VarId vj = jg.FindVar("vj");
+  EnumerateCbds(jg, jg.AllTps(), vj, [&](TpSet a, TpSet b) {
+    EXPECT_FALSE(a.Empty());
+    EXPECT_FALSE(b.Empty());
+    EXPECT_EQ(a | b, jg.AllTps());
+    EXPECT_FALSE(a.Intersects(b));
+    EXPECT_TRUE(jg.IsConnected(a)) << a.ToString();
+    EXPECT_TRUE(jg.IsConnected(b)) << b.ToString();
+    EXPECT_TRUE(a.Intersects(jg.Ntp(vj)));
+    EXPECT_TRUE(b.Intersects(jg.Ntp(vj)));
+    return true;
+  });
+}
+
+TEST(CbdTest, WorksOnSubqueries) {
+  // Enumeration restricted to a subquery must ignore patterns outside it.
+  JoinGraph jg(Figure4Query());
+  VarId vj = jg.FindVar("vj");
+  TpSet sub;
+  for (int tp : {0, 1, 4, 5, 6, 7, 8}) sub.Add(tp);
+  auto got = EnumerateToSet(jg, sub, vj);
+  auto expected = BruteForceCbds(jg, sub, vj);
+  EXPECT_EQ(got, expected);
+  EXPECT_FALSE(expected.empty());
+}
+
+TEST(CbdTest, AbortStopsEnumeration) {
+  JoinGraph jg(Figure4Query());
+  VarId vj = jg.FindVar("vj");
+  int seen = 0;
+  bool finished = EnumerateCbds(jg, jg.AllTps(), vj, [&](TpSet, TpSet) {
+    return ++seen < 2;
+  });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(CbdTest, StarQueryYieldsAllAnchorSubsets) {
+  // For a star with n patterns, the cbds on the center are all subsets
+  // containing the anchor: 2^(n-1) - 1.
+  Rng rng(5);
+  GeneratedQuery q = GenerateRandomQuery(QueryShape::kStar, 5, rng);
+  JoinGraph jg(q.patterns);
+  VarId center = jg.join_vars()[0];
+  auto got = EnumerateToSet(jg, jg.AllTps(), center);
+  EXPECT_EQ(got.size(), 15u);  // 2^4 - 1
+}
+
+TEST(CbdTest, ChainQuerySplitsAtTheVariable) {
+  Rng rng(6);
+  GeneratedQuery q = GenerateRandomQuery(QueryShape::kChain, 6, rng);
+  JoinGraph jg(q.patterns);
+  for (VarId vj : jg.join_vars()) {
+    auto got = EnumerateToSet(jg, jg.AllTps(), vj);
+    // A chain has exactly one cbd per interior variable.
+    EXPECT_EQ(got.size(), 1u);
+  }
+}
+
+// Property sweep: enumerator output == brute force on random queries of
+// every shape.
+struct SweepCase {
+  QueryShape shape;
+  int n;
+  std::uint64_t seed;
+};
+
+class CbdSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CbdSweepTest, MatchesBruteForce) {
+  Rng rng(GetParam().seed);
+  for (int rep = 0; rep < 8; ++rep) {
+    GeneratedQuery q =
+        GenerateRandomQuery(GetParam().shape, GetParam().n, rng);
+    JoinGraph jg(q.patterns);
+    for (VarId vj : jg.join_vars()) {
+      if (jg.Ntp(vj).Count() < 2) continue;
+      auto got = EnumerateToSet(jg, jg.AllTps(), vj);
+      auto expected = BruteForceCbds(jg, jg.AllTps(), vj);
+      ASSERT_EQ(got, expected)
+          << ToString(GetParam().shape) << " n=" << GetParam().n
+          << " var=" << jg.var_name(vj);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CbdSweepTest,
+    ::testing::Values(SweepCase{QueryShape::kStar, 6, 11},
+                      SweepCase{QueryShape::kChain, 7, 12},
+                      SweepCase{QueryShape::kCycle, 7, 13},
+                      SweepCase{QueryShape::kTree, 8, 14},
+                      SweepCase{QueryShape::kTree, 10, 15},
+                      SweepCase{QueryShape::kDense, 8, 16},
+                      SweepCase{QueryShape::kDense, 10, 17}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return ToString(info.param.shape) + std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace parqo

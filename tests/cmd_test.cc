@@ -1,0 +1,193 @@
+// Algorithm 3 (connected multi-division enumeration): Example 4 on the
+// Figure 1 query, exactness against brute-force set-partition enumeration
+// (Theorem 2), the Section III-D closed forms, and the TD-CMDP ccmd
+// pruning mode (Rule 1).
+
+#include "optimizer/cmd_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "optimizer/enumeration_stats.h"
+#include "tests/test_util.h"
+#include "workload/random_query.h"
+
+namespace parqo {
+namespace {
+
+using testing::BruteForceCmds;
+using testing::Figure1Query;
+
+using CmdKey = std::pair<std::vector<std::uint64_t>, VarId>;
+
+std::set<CmdKey> EnumerateToSet(const JoinGraph& jg, TpSet q, CmdMode mode,
+                                std::uint64_t* count = nullptr) {
+  std::set<CmdKey> out;
+  EnumerateCmds(jg, q, mode, [&](std::span<const TpSet> parts, VarId vj) {
+    std::vector<std::uint64_t> bits;
+    for (TpSet p : parts) bits.push_back(p.bits());
+    std::sort(bits.begin(), bits.end());
+    bool inserted = out.emplace(bits, vj).second;
+    EXPECT_TRUE(inserted) << "cmd emitted twice (var " << vj << ")";
+    if (count != nullptr) ++*count;
+    return true;
+  });
+  return out;
+}
+
+TEST(CmdTest, Example4DivisionsArePresent) {
+  JoinGraph jg(Figure1Query());
+  VarId a = jg.FindVar("a");
+  auto got = EnumerateToSet(jg, jg.AllTps(), CmdMode::kAll);
+
+  auto key = [&](std::initializer_list<std::initializer_list<int>> parts,
+                 VarId vj) {
+    std::vector<std::uint64_t> bits;
+    for (auto part : parts) {
+      TpSet s;
+      for (int tp : part) s.Add(tp - 1);  // paper's tp indexes are 1-based
+      bits.push_back(s.bits());
+    }
+    std::sort(bits.begin(), bits.end());
+    return CmdKey{bits, vj};
+  };
+  // Example 4: ({tp1,tp5}, {tp7}, {tp2,tp6}, {tp3,tp4}, ?a) and
+  // ({tp1,tp5,tp7}, {tp2,tp6}, {tp3,tp4}, ?a).
+  EXPECT_TRUE(got.count(key({{1, 5}, {7}, {2, 6}, {3, 4}}, a)));
+  EXPECT_TRUE(got.count(key({{1, 5, 7}, {2, 6}, {3, 4}}, a)));
+}
+
+TEST(CmdTest, MatchesBruteForceOnFigure1) {
+  JoinGraph jg(Figure1Query());
+  std::uint64_t count = 0;
+  auto got = EnumerateToSet(jg, jg.AllTps(), CmdMode::kAll, &count);
+  auto expected = BruteForceCmds(jg, jg.AllTps());
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(count, expected.size());
+}
+
+TEST(CmdTest, StarCountMatchesBellFormula) {
+  // A star with n patterns has B_n - 1 cmds on its center variable
+  // (every multi-division is connected and touches the center).
+  for (int n : {3, 4, 5, 6}) {
+    Rng rng(100 + n);
+    GeneratedQuery q = GenerateRandomQuery(QueryShape::kStar, n, rng);
+    JoinGraph jg(q.patterns);
+    std::uint64_t count = 0;
+    EnumerateToSet(jg, jg.AllTps(), CmdMode::kAll, &count);
+    EXPECT_EQ(count, BellNumber(n) - 1) << "n=" << n;
+  }
+}
+
+TEST(CmdTest, ChainFullQueryHasMinusOneDivisions) {
+  // A chain's cmds are all binary: n-1 cuts.
+  Rng rng(9);
+  GeneratedQuery q = GenerateRandomQuery(QueryShape::kChain, 8, rng);
+  JoinGraph jg(q.patterns);
+  std::uint64_t count = 0;
+  EnumerateToSet(jg, jg.AllTps(), CmdMode::kAll, &count);
+  EXPECT_EQ(count, 7u);
+}
+
+TEST(CmdTest, CycleFullQueryHasNTimesNMinusOne) {
+  // Section III-D: the full cycle query has n(n-1) cmds.
+  Rng rng(10);
+  const int n = 7;
+  GeneratedQuery q = GenerateRandomQuery(QueryShape::kCycle, n, rng);
+  JoinGraph jg(q.patterns);
+  std::uint64_t count = 0;
+  EnumerateToSet(jg, jg.AllTps(), CmdMode::kAll, &count);
+  EXPECT_EQ(count, static_cast<std::uint64_t>(n * (n - 1)));
+}
+
+TEST(CmdTest, EveryEmittedCmdSatisfiesDefinition3) {
+  JoinGraph jg(Figure1Query());
+  EnumerateCmds(jg, jg.AllTps(), CmdMode::kAll,
+                [&](std::span<const TpSet> parts, VarId vj) {
+                  EXPECT_GE(parts.size(), 2u);
+                  TpSet uni;
+                  for (TpSet p : parts) {
+                    EXPECT_FALSE(p.Empty());
+                    EXPECT_FALSE(p.Intersects(uni));  // condition 1
+                    uni |= p;
+                    EXPECT_TRUE(jg.IsConnected(p));   // condition 3
+                    EXPECT_TRUE(p.Intersects(jg.Ntp(vj)));
+                  }
+                  EXPECT_EQ(uni, jg.AllTps());        // condition 2
+                  return true;
+                });
+}
+
+TEST(CmdTest, PrunedModeKeepsBinaryAndCcmdsOnly) {
+  JoinGraph jg(Figure1Query());
+  auto all = EnumerateToSet(jg, jg.AllTps(), CmdMode::kAll);
+  auto pruned = EnumerateToSet(jg, jg.AllTps(), CmdMode::kCcmdAndBinary);
+
+  // Pruned is a subset of the full space.
+  for (const CmdKey& k : pruned) {
+    EXPECT_TRUE(all.count(k));
+  }
+  // Exactly the binary divisions and the complete multi-divisions
+  // survive.
+  std::set<CmdKey> expected;
+  for (const CmdKey& k : all) {
+    if (k.first.size() == 2) {
+      expected.insert(k);
+      continue;
+    }
+    bool complete = true;
+    for (std::uint64_t part : k.first) {
+      if ((TpSet(part) & jg.Ntp(k.second)).Count() != 1) complete = false;
+    }
+    if (complete) expected.insert(k);
+  }
+  EXPECT_EQ(pruned, expected);
+  EXPECT_LT(pruned.size(), all.size());
+}
+
+TEST(CmdTest, PrunedModeIdenticalOnChains) {
+  // Table VII: TD-CMDP's search space equals TD-CMD's for chains (every
+  // cmd is already binary).
+  Rng rng(11);
+  GeneratedQuery q = GenerateRandomQuery(QueryShape::kChain, 10, rng);
+  JoinGraph jg(q.patterns);
+  EXPECT_EQ(EnumerateToSet(jg, jg.AllTps(), CmdMode::kAll),
+            EnumerateToSet(jg, jg.AllTps(), CmdMode::kCcmdAndBinary));
+}
+
+struct SweepCase {
+  QueryShape shape;
+  int n;
+  std::uint64_t seed;
+};
+
+class CmdSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CmdSweepTest, MatchesBruteForce) {
+  Rng rng(GetParam().seed);
+  for (int rep = 0; rep < 5; ++rep) {
+    GeneratedQuery q =
+        GenerateRandomQuery(GetParam().shape, GetParam().n, rng);
+    JoinGraph jg(q.patterns);
+    auto got = EnumerateToSet(jg, jg.AllTps(), CmdMode::kAll);
+    auto expected = BruteForceCmds(jg, jg.AllTps());
+    ASSERT_EQ(got, expected)
+        << ToString(GetParam().shape) << " n=" << GetParam().n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CmdSweepTest,
+    ::testing::Values(SweepCase{QueryShape::kStar, 6, 21},
+                      SweepCase{QueryShape::kChain, 7, 22},
+                      SweepCase{QueryShape::kCycle, 7, 23},
+                      SweepCase{QueryShape::kTree, 8, 24},
+                      SweepCase{QueryShape::kDense, 8, 25}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return ToString(info.param.shape) + std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace parqo

@@ -1,0 +1,114 @@
+// Tests for the common utilities: strings, Status/Result, Rng.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace parqo {
+namespace {
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringsTest, WithThousandsSep) {
+  EXPECT_EQ(WithThousandsSep(0), "0");
+  EXPECT_EQ(WithThousandsSep(999), "999");
+  EXPECT_EQ(WithThousandsSep(1000), "1,000");
+  EXPECT_EQ(WithThousandsSep(75256333), "75,256,333");
+}
+
+TEST(StringsTest, FormatCostE) {
+  // Matches the paper's Table VI rendering.
+  EXPECT_EQ(FormatCostE(31200), "3.12E4");
+  EXPECT_EQ(FormatCostE(9.79e6), "9.79E6");
+  EXPECT_EQ(FormatCostE(0), "0");
+  EXPECT_EQ(FormatCostE(1), "1.00E0");
+}
+
+TEST(StringsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.5), "0.500s");
+  EXPECT_EQ(FormatSeconds(432.429), "432s");
+  EXPECT_EQ(FormatSeconds(0.0004), "0.0004s");
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.message(), "nope");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(bad.ToString(), "nope");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = Status::NotFound("missing");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    double d = r.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    std::int64_t s = r.Skewed(100);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 100);
+  }
+}
+
+TEST(RngTest, SkewFavorsSmallIndexes) {
+  Rng r(9);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    std::int64_t v = r.Skewed(100);
+    if (v < 10) ++low;
+    if (v >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+}  // namespace
+}  // namespace parqo

@@ -1,0 +1,51 @@
+// Closed-form search-space arithmetic (Section III-D).
+
+#include "optimizer/enumeration_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace parqo {
+namespace {
+
+TEST(EnumerationStatsTest, BellNumbers) {
+  EXPECT_EQ(BellNumber(0), 1u);
+  EXPECT_EQ(BellNumber(1), 1u);
+  EXPECT_EQ(BellNumber(2), 2u);
+  EXPECT_EQ(BellNumber(3), 5u);
+  EXPECT_EQ(BellNumber(4), 15u);
+  EXPECT_EQ(BellNumber(5), 52u);
+  EXPECT_EQ(BellNumber(8), 4140u);
+  EXPECT_EQ(BellNumber(10), 115975u);
+}
+
+TEST(EnumerationStatsTest, Binomials) {
+  EXPECT_EQ(Binomial(8, 0), 1u);
+  EXPECT_EQ(Binomial(8, 3), 56u);
+  EXPECT_EQ(Binomial(8, 8), 1u);
+  EXPECT_EQ(Binomial(8, 9), 0u);
+  EXPECT_EQ(Binomial(30, 15), 155117520u);
+}
+
+TEST(EnumerationStatsTest, ChainClosedFormMatchesTableVII) {
+  // Table VII TD-CMD row, chain column: 84 / 680 / 4,495.
+  EXPECT_EQ(ChainSearchSpace(8), 84u);
+  EXPECT_EQ(ChainSearchSpace(16), 680u);
+  EXPECT_EQ(ChainSearchSpace(30), 4495u);
+}
+
+TEST(EnumerationStatsTest, CycleClosedFormMatchesTableVII) {
+  // Table VII TD-CMD row, cycle column: 224 / 1,920 / 13,050.
+  EXPECT_EQ(CycleSearchSpace(8), 224u);
+  EXPECT_EQ(CycleSearchSpace(16), 1920u);
+  EXPECT_EQ(CycleSearchSpace(30), 13050u);
+}
+
+TEST(EnumerationStatsTest, StarWorstCaseGrowsLikeBell) {
+  // Small cases by hand: n=3 -> 3*(B2-1) + 1*(B3-1) = 3 + 4 = 7.
+  EXPECT_EQ(StarSearchSpace(3), 7u);
+  EXPECT_EQ(StarSearchSpace(2), 1u);
+  EXPECT_GT(StarSearchSpace(12), StarSearchSpace(11) * 2);
+}
+
+}  // namespace
+}  // namespace parqo

@@ -1,0 +1,131 @@
+// Join graph tests against the paper's Figure 1 running example.
+
+#include "query/join_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace parqo {
+namespace {
+
+using testing::Figure1Query;
+using testing::Tp;
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  Figure1Test() : jg_(Figure1Query()) {}
+  JoinGraph jg_;
+};
+
+TEST_F(Figure1Test, JoinVariablesAndDegrees) {
+  // Join variables of Figure 1b: ?a ?b ?c ?d ?e. ?f and ?g occur once.
+  EXPECT_EQ(jg_.num_tps(), 7);
+  EXPECT_EQ(jg_.num_join_vars(), 5);
+
+  VarId a = jg_.FindVar("a");
+  VarId b = jg_.FindVar("b");
+  VarId c = jg_.FindVar("c");
+  VarId d = jg_.FindVar("d");
+  VarId e = jg_.FindVar("e");
+  VarId f = jg_.FindVar("f");
+  ASSERT_NE(a, kInvalidVarId);
+
+  // Example 1: N_tp(?c) = {tp2, tp6}, degree 2.
+  TpSet ntp_c = jg_.Ntp(c);
+  EXPECT_EQ(ntp_c.Count(), 2);
+  EXPECT_TRUE(ntp_c.Contains(1));  // tp2
+  EXPECT_TRUE(ntp_c.Contains(5));  // tp6
+
+  // ?a is the high-degree variable: tp1, tp2, tp3, tp7.
+  EXPECT_EQ(jg_.Ntp(a).Count(), 4);
+  EXPECT_EQ(jg_.MaxJoinVarDegree(), 4);
+  EXPECT_EQ(jg_.Ntp(b).Count(), 2);
+  EXPECT_EQ(jg_.Ntp(d).Count(), 2);
+  EXPECT_EQ(jg_.Ntp(e).Count(), 2);
+  EXPECT_FALSE(jg_.IsJoinVar(f));
+}
+
+TEST_F(Figure1Test, AdjacencyAndNeighbors) {
+  // tp4 (?e p4 ?g) is adjacent only to tp3 via ?e.
+  EXPECT_EQ(jg_.Adjacent(3), TpSet::Singleton(2));
+  // tp1 (?b p1 ?a) is adjacent to tp2, tp3, tp7 via ?a and tp5 via ?b.
+  TpSet adj1 = jg_.Adjacent(0);
+  EXPECT_EQ(adj1.Count(), 4);
+  EXPECT_TRUE(adj1.Contains(1));
+  EXPECT_TRUE(adj1.Contains(2));
+  EXPECT_TRUE(adj1.Contains(4));
+  EXPECT_TRUE(adj1.Contains(6));
+
+  TpSet sq;
+  sq.Add(2);  // tp3
+  sq.Add(3);  // tp4
+  TpSet nbrs = jg_.NeighborsOf(sq);
+  // Neighbors via ?a: tp1, tp2, tp7.
+  EXPECT_EQ(nbrs.Count(), 3);
+  EXPECT_TRUE(nbrs.Contains(0));
+  EXPECT_TRUE(nbrs.Contains(1));
+  EXPECT_TRUE(nbrs.Contains(6));
+}
+
+TEST_F(Figure1Test, Connectivity) {
+  EXPECT_TRUE(jg_.IsConnected(jg_.AllTps()));
+  TpSet sq;
+  sq.Add(3);  // tp4
+  sq.Add(4);  // tp5
+  EXPECT_FALSE(jg_.IsConnected(sq));
+  sq.Add(0);  // tp1: still missing the ?a or ?e bridge
+  EXPECT_FALSE(jg_.IsConnected(sq));
+  sq.Add(2);  // tp3 bridges via ?e and ?a
+  EXPECT_TRUE(jg_.IsConnected(sq));
+  EXPECT_TRUE(jg_.IsConnected(TpSet::Singleton(0)));
+  EXPECT_TRUE(jg_.IsConnected(TpSet{}));
+}
+
+TEST_F(Figure1Test, ComponentsExcludingVariable) {
+  VarId a = jg_.FindVar("a");
+  // Removing ?a: {tp1, tp5} via ?b, {tp2, tp6, tp7} via ?c/?d... tp7
+  // shares ?d with tp6, tp6 shares ?c with tp2. {tp3, tp4} via ?e.
+  auto comps = jg_.ComponentsExcluding(jg_.AllTps(), a);
+  ASSERT_EQ(comps.size(), 3u);
+  std::set<std::uint64_t> got;
+  for (TpSet c : comps) got.insert(c.bits());
+  TpSet c1, c2, c3;
+  c1.Add(0);
+  c1.Add(4);
+  c2.Add(1);
+  c2.Add(5);
+  c2.Add(6);
+  c3.Add(2);
+  c3.Add(3);
+  EXPECT_TRUE(got.count(c1.bits()));
+  EXPECT_TRUE(got.count(c2.bits()));
+  EXPECT_TRUE(got.count(c3.bits()));
+}
+
+TEST_F(Figure1Test, SharedJoinVars) {
+  TpSet left;
+  left.Add(0);  // tp1
+  left.Add(4);  // tp5
+  TpSet right;
+  right.Add(2);  // tp3
+  right.Add(3);  // tp4
+  auto shared = jg_.SharedJoinVars(left, right);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared[0], jg_.FindVar("a"));
+}
+
+TEST(JoinGraphTest, VarsOfDeduplicates) {
+  JoinGraph jg({Tp("?x", "p", "?x"), Tp("?x", "q", "?y")});
+  EXPECT_EQ(jg.VarsOf(0).size(), 1u);
+  EXPECT_EQ(jg.Ntp(jg.FindVar("x")).Count(), 2);
+}
+
+TEST(JoinGraphTest, PredicateVariablesJoin) {
+  JoinGraph jg({Tp("?x", "?p", "?y"), Tp("?z", "?p", "?w")});
+  EXPECT_TRUE(jg.IsJoinVar(jg.FindVar("p")));
+  EXPECT_TRUE(jg.IsConnected(jg.AllTps()));
+}
+
+}  // namespace
+}  // namespace parqo

@@ -1,0 +1,57 @@
+// Helpers to run optimizers on generated queries inside tests.
+
+#ifndef PARQO_TESTS_OPTIMIZER_TEST_UTIL_H_
+#define PARQO_TESTS_OPTIMIZER_TEST_UTIL_H_
+
+#include <memory>
+
+#include "optimizer/optimizer.h"
+#include "partition/hash_so.h"
+#include "partition/local_query_index.h"
+#include "query/join_graph.h"
+#include "query/query_graph.h"
+#include "stats/estimator.h"
+#include "workload/random_query.h"
+
+namespace parqo::testing {
+
+/// Owns the optimizer inputs for one generated query. `use_hash_locality`
+/// selects between the Hash-SO local-query index (the experiments'
+/// default) and a no-locality index (pure enumeration studies).
+class QueryFixture {
+ public:
+  explicit QueryFixture(const GeneratedQuery& q,
+                        bool use_hash_locality = true)
+      : jg_(q.patterns), qg_(jg_) {
+    if (use_hash_locality) {
+      index_ = std::make_unique<LocalQueryIndex>(qg_, hash_);
+    } else {
+      index_ = std::make_unique<LocalQueryIndex>(
+          LocalQueryIndex::None(jg_.num_tps()));
+    }
+    estimator_ =
+        std::make_unique<CardinalityEstimator>(jg_, q.MakeStats(jg_));
+  }
+
+  const JoinGraph& jg() const { return jg_; }
+
+  OptimizerInputs inputs() const {
+    OptimizerInputs in;
+    in.join_graph = &jg_;
+    in.query_graph = &qg_;
+    in.local_index = index_.get();
+    in.estimator = estimator_.get();
+    return in;
+  }
+
+ private:
+  HashSoPartitioner hash_;
+  JoinGraph jg_;
+  QueryGraph qg_;
+  std::unique_ptr<LocalQueryIndex> index_;
+  std::unique_ptr<CardinalityEstimator> estimator_;
+};
+
+}  // namespace parqo::testing
+
+#endif  // PARQO_TESTS_OPTIMIZER_TEST_UTIL_H_

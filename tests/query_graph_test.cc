@@ -1,0 +1,89 @@
+// Query graph (G_Q) construction and forward reachability — the
+// ingredients of combine(v, G_Q) for the partitioning model.
+
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace parqo {
+namespace {
+
+using testing::Figure1Query;
+using testing::Tp;
+
+TEST(QueryGraphTest, VerticesAreSubjectsAndObjects) {
+  JoinGraph jg({Tp("?x", "p", "?y"), Tp("?y", "q", "c")});
+  QueryGraph qg(jg);
+  // Vertices: ?x, ?y, c. The predicates are edge labels, not vertices.
+  EXPECT_EQ(qg.num_vertices(), 3);
+  int vy = qg.VertexOfVar(jg.FindVar("y"));
+  ASSERT_GE(vy, 0);
+  EXPECT_EQ(qg.vertex(vy).in_tps, TpSet::Singleton(0));
+  EXPECT_EQ(qg.vertex(vy).out_tps, TpSet::Singleton(1));
+  EXPECT_EQ(qg.vertex(vy).IncidentTps().Count(), 2);
+}
+
+TEST(QueryGraphTest, SharedConstantsAreOneVertex) {
+  JoinGraph jg({Tp("c", "p", "?x"), Tp("c", "q", "?y")});
+  QueryGraph qg(jg);
+  EXPECT_EQ(qg.num_vertices(), 3);  // c, ?x, ?y
+  // The constant vertex has both out-edges.
+  bool found = false;
+  for (int i = 0; i < qg.num_vertices(); ++i) {
+    if (!qg.vertex(i).is_var) {
+      EXPECT_EQ(qg.vertex(i).out_tps.Count(), 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryGraphTest, ForwardReachabilityExample5) {
+  // Example 5: with path partitioning, the maximal local query at ?b of
+  // the Figure 1 query is {tp1, tp3, tp4, tp5, tp7} — everything
+  // forward-reachable from ?b.
+  JoinGraph jg(Figure1Query());
+  QueryGraph qg(jg);
+  int vb = qg.VertexOfVar(jg.FindVar("b"));
+  ASSERT_GE(vb, 0);
+  TpSet reach = qg.ForwardReachableTps(vb, /*max_hops=*/-1);
+  TpSet expected;
+  expected.Add(0);  // tp1
+  expected.Add(2);  // tp3
+  expected.Add(3);  // tp4
+  expected.Add(4);  // tp5
+  expected.Add(6);  // tp7
+  EXPECT_EQ(reach, expected);
+}
+
+TEST(QueryGraphTest, ForwardReachabilityHopLimits) {
+  JoinGraph jg(Figure1Query());
+  QueryGraph qg(jg);
+  int vb = qg.VertexOfVar(jg.FindVar("b"));
+  // 1 hop from ?b: tp1 (?b p1 ?a) and tp5 (?b p5 ?f).
+  TpSet one = qg.ForwardReachableTps(vb, 1);
+  TpSet expected1;
+  expected1.Add(0);
+  expected1.Add(4);
+  EXPECT_EQ(one, expected1);
+  // 2 hops adds ?a's out-edges tp3 and tp7.
+  TpSet two = qg.ForwardReachableTps(vb, 2);
+  TpSet expected2 = expected1;
+  expected2.Add(2);
+  expected2.Add(6);
+  EXPECT_EQ(two, expected2);
+  // 0 hops reaches nothing.
+  EXPECT_TRUE(qg.ForwardReachableTps(vb, 0).Empty());
+}
+
+TEST(QueryGraphTest, CyclesTerminate) {
+  JoinGraph jg({Tp("?a", "p", "?b"), Tp("?b", "q", "?a")});
+  QueryGraph qg(jg);
+  TpSet reach = qg.ForwardReachableTps(0, -1);
+  EXPECT_EQ(reach.Count(), 2);
+}
+
+}  // namespace
+}  // namespace parqo

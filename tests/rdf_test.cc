@@ -1,0 +1,124 @@
+// Dictionary, RdfGraph, and N-Triples parser/writer tests.
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+
+namespace parqo {
+namespace {
+
+TEST(DictionaryTest, EncodeIsIdempotent) {
+  Dictionary d;
+  TermId a = d.EncodeIri("http://x/a");
+  TermId b = d.EncodeIri("http://x/b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.EncodeIri("http://x/a"), a);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, KindsAreDistinct) {
+  Dictionary d;
+  TermId iri = d.Encode(Term::Iri("x"));
+  TermId lit = d.Encode(Term::Literal("x"));
+  TermId blank = d.Encode(Term::Blank("x"));
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(iri, blank);
+  EXPECT_NE(lit, blank);
+}
+
+TEST(DictionaryTest, LookupMissingReturnsInvalid) {
+  Dictionary d;
+  EXPECT_EQ(d.LookupIri("http://nope"), kInvalidTermId);
+  d.EncodeIri("http://yes");
+  EXPECT_NE(d.LookupIri("http://yes"), kInvalidTermId);
+}
+
+TEST(DictionaryTest, DecodeRoundTrips) {
+  Dictionary d;
+  Term t = Term::Literal("hello world");
+  TermId id = d.Encode(t);
+  EXPECT_EQ(d.Decode(id), t);
+}
+
+TEST(NTriplesTest, ParsesBasicTriples) {
+  auto result = ParseNTriplesString(
+      "<http://a> <http://p> <http://b> .\n"
+      "# a comment\n"
+      "\n"
+      "<http://a> <http://q> \"lit\" .\n"
+      "_:b1 <http://p> _:b2 .\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumTriples(), 3u);
+}
+
+TEST(NTriplesTest, ParsesLiteralEscapesAndSuffixes) {
+  auto result = ParseNTriplesString(
+      "<http://a> <http://p> \"line\\nbreak\" .\n"
+      "<http://a> <http://p> \"tag\"@en .\n"
+      "<http://a> <http://p> "
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#int> .\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumTriples(), 3u);
+  // Typed and tagged literals must be distinct dictionary entries.
+  EXPECT_EQ(result->dict().size(), 2u + 3u);
+}
+
+TEST(NTriplesTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseNTriplesString("<http://a> <http://p> .\n").ok());
+  EXPECT_FALSE(ParseNTriplesString("<http://a <http://p> <http://b> .").ok());
+  EXPECT_FALSE(
+      ParseNTriplesString("\"lit\" <http://p> <http://b> .").ok());
+  EXPECT_FALSE(
+      ParseNTriplesString("<http://a> \"lit\" <http://b> .").ok());
+  EXPECT_FALSE(
+      ParseNTriplesString("<http://a> <http://p> <http://b>").ok());
+  Status st =
+      ParseNTriplesString("<a> <p> <b> .\nnot a triple\n").status();
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, WriteParseRoundTrip) {
+  const char* doc =
+      "<http://a> <http://p> <http://b> .\n"
+      "<http://a> <http://q> \"x \\\"quoted\\\"\" .\n"
+      "<http://a> <http://q> \"tagged\"@en .\n";
+  auto g1 = ParseNTriplesString(doc);
+  ASSERT_TRUE(g1.ok());
+  std::string serialized = WriteNTriples(*g1);
+  auto g2 = ParseNTriplesString(serialized);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->NumTriples(), g1->NumTriples());
+  EXPECT_EQ(WriteNTriples(*g2), serialized);
+}
+
+TEST(RdfGraphTest, DeduplicatesTriples) {
+  Dictionary d;
+  TermId a = d.EncodeIri("a"), p = d.EncodeIri("p"), b = d.EncodeIri("b");
+  RdfGraph g(std::move(d), {{a, p, b}, {a, p, b}});
+  EXPECT_EQ(g.NumTriples(), 1u);
+}
+
+TEST(RdfGraphTest, AdjacencyIndexes) {
+  Dictionary d;
+  TermId a = d.EncodeIri("a"), p = d.EncodeIri("p"), b = d.EncodeIri("b"),
+         c = d.EncodeIri("c");
+  RdfGraph g(std::move(d), {{a, p, b}, {b, p, c}, {a, p, c}});
+  EXPECT_EQ(g.OutDegree(a), 2u);
+  EXPECT_EQ(g.InDegree(a), 0u);
+  EXPECT_EQ(g.OutDegree(b), 1u);
+  EXPECT_EQ(g.InDegree(b), 1u);
+  EXPECT_EQ(g.InDegree(c), 2u);
+  // Vertices exclude the predicate-only term p.
+  EXPECT_EQ(g.vertices().size(), 3u);
+  for (TripleIdx e : g.OutEdges(a)) {
+    EXPECT_EQ(g.triples()[e].s, a);
+  }
+  for (TripleIdx e : g.InEdges(c)) {
+    EXPECT_EQ(g.triples()[e].o, c);
+  }
+}
+
+}  // namespace
+}  // namespace parqo

@@ -1,0 +1,125 @@
+// Round-trip and cross-module consistency properties that glue the
+// parsers, printers, and generators together:
+//   * ParsedQuery::ToString -> ParseSparql is the identity on patterns
+//     for every generator output and every benchmark query;
+//   * N-Triples serialization of generated datasets re-parses to the
+//     same triple multiset;
+//   * the exported JSON plan's costs match the in-memory plan.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "optimizer/prepared_query.h"
+#include "partition/hash_so.h"
+#include "plan/export.h"
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "workload/benchmark_queries.h"
+#include "workload/lubm.h"
+#include "workload/random_query.h"
+#include "workload/uniprot.h"
+#include "workload/watdiv.h"
+
+namespace parqo {
+namespace {
+
+TEST(RoundTripTest, GeneratedQueriesSurviveToStringParse) {
+  Rng rng(61);
+  for (QueryShape shape :
+       {QueryShape::kStar, QueryShape::kChain, QueryShape::kCycle,
+        QueryShape::kTree, QueryShape::kDense}) {
+    for (int n : {3, 7, 12}) {
+      GeneratedQuery q = GenerateRandomQuery(shape, n, rng);
+      ParsedQuery pq;
+      pq.select_all = true;
+      pq.patterns = q.patterns;
+      auto reparsed = ParseSparql(pq.ToString());
+      ASSERT_TRUE(reparsed.ok())
+          << ToString(shape) << " n=" << n << ": "
+          << reparsed.status().ToString() << "\n"
+          << pq.ToString();
+      EXPECT_EQ(reparsed->patterns, q.patterns);
+    }
+  }
+}
+
+TEST(RoundTripTest, WatdivTemplatesSurviveToStringParse) {
+  Rng rng(62);
+  for (const WatdivTemplate& t : GenerateWatdivTemplates(30, rng)) {
+    ParsedQuery pq;
+    pq.select_all = true;
+    pq.patterns = t.patterns;
+    auto reparsed = ParseSparql(pq.ToString());
+    ASSERT_TRUE(reparsed.ok()) << pq.ToString();
+    EXPECT_EQ(reparsed->patterns, t.patterns);
+  }
+}
+
+TEST(RoundTripTest, BenchmarkQueriesSurviveToStringParse) {
+  for (const BenchmarkQuery& bq : AllBenchmarkQueries()) {
+    auto parsed = ParseSparql(bq.sparql);
+    ASSERT_TRUE(parsed.ok()) << bq.name;
+    auto reparsed = ParseSparql(parsed->ToString());
+    ASSERT_TRUE(reparsed.ok()) << bq.name << "\n" << parsed->ToString();
+    EXPECT_EQ(reparsed->patterns, parsed->patterns) << bq.name;
+    EXPECT_EQ(reparsed->select_vars, parsed->select_vars) << bq.name;
+  }
+}
+
+TEST(RoundTripTest, LubmSerializesAndReparses) {
+  LubmConfig cfg;
+  cfg.universities = 1;
+  RdfGraph g = GenerateLubm(cfg);
+  auto g2 = ParseNTriplesString(WriteNTriples(g));
+  ASSERT_TRUE(g2.ok()) << g2.status().ToString();
+  EXPECT_EQ(g2->NumTriples(), g.NumTriples());
+  // Identical canonical serialization (triples sorted by ids may differ
+  // across dictionaries, so compare the sorted text form).
+  std::string a = WriteNTriples(g);
+  std::string b = WriteNTriples(*g2);
+  std::multiset<std::string> la, lb;
+  std::size_t pos = 0;
+  for (std::string* s : {&a, &b}) {
+    auto& target = s == &a ? la : lb;
+    pos = 0;
+    while (pos < s->size()) {
+      std::size_t nl = s->find('\n', pos);
+      target.insert(s->substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+  }
+  EXPECT_EQ(la, lb);
+}
+
+TEST(RoundTripTest, UniprotSerializesAndReparses) {
+  UniprotConfig cfg;
+  cfg.proteins = 100;
+  RdfGraph g = GenerateUniprot(cfg);
+  auto g2 = ParseNTriplesString(WriteNTriples(g));
+  ASSERT_TRUE(g2.ok()) << g2.status().ToString();
+  EXPECT_EQ(g2->NumTriples(), g.NumTriples());
+}
+
+TEST(RoundTripTest, JsonExportPreservesCosts) {
+  Rng rng(63);
+  GeneratedQuery q = GenerateRandomQuery(QueryShape::kTree, 6, rng);
+  HashSoPartitioner hash;
+  PreparedQuery prepared(q.patterns, hash, [&q](const JoinGraph& jg) {
+    return q.MakeStats(jg);
+  });
+  OptimizeResult r =
+      Optimize(Algorithm::kTdCmd, prepared.inputs(), OptimizeOptions{});
+  ASSERT_NE(r.plan, nullptr);
+  std::string json = PlanToJson(*r.plan, prepared.join_graph());
+  // The root's totalCost appears verbatim with %.17g precision.
+  char expect[64];
+  std::snprintf(expect, sizeof(expect), "\"totalCost\":%.17g",
+                r.plan->total_cost);
+  EXPECT_NE(json.find(expect), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace parqo

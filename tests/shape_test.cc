@@ -1,0 +1,117 @@
+// Query-shape classification (Figure 2 categories) and the TD-Auto
+// decision-tree inputs.
+
+#include "query/shape.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "workload/random_query.h"
+
+namespace parqo {
+namespace {
+
+using testing::Tp;
+
+TEST(ShapeTest, SinglePattern) {
+  JoinGraph jg({Tp("?x", "p", "?y")});
+  EXPECT_EQ(ClassifyShape(jg), QueryShape::kSingle);
+}
+
+TEST(ShapeTest, StarAllPatternsShareOneVariable) {
+  JoinGraph jg({Tp("?c", "p0", "?x0"), Tp("?c", "p1", "?x1"),
+                Tp("?x2", "p2", "?c")});
+  EXPECT_EQ(ClassifyShape(jg), QueryShape::kStar);
+  EXPECT_EQ(CyclomaticNumber(jg), 0);
+}
+
+TEST(ShapeTest, TwoPatternChainVersusStar) {
+  // L2-style: ?x worksFor ?y . ?y subOrg <u>  => chain.
+  JoinGraph chain({Tp("?x", "worksFor", "?y"), Tp("?y", "subOrg", "u")});
+  EXPECT_EQ(ClassifyShape(chain), QueryShape::kChain);
+  // L1-style: both patterns have ?x as subject => star.
+  JoinGraph star({Tp("?x", "type", "RG"), Tp("?x", "subOrg", "d")});
+  EXPECT_EQ(ClassifyShape(star), QueryShape::kStar);
+}
+
+TEST(ShapeTest, Chain) {
+  JoinGraph jg({Tp("?a", "p0", "?b"), Tp("?b", "p1", "?c"),
+                Tp("?c", "p2", "?d"), Tp("?d", "p3", "?e")});
+  EXPECT_EQ(ClassifyShape(jg), QueryShape::kChain);
+  EXPECT_EQ(CyclomaticNumber(jg), 0);
+  EXPECT_GT(TpToJoinVarRatio(jg), 1.0);
+}
+
+TEST(ShapeTest, Cycle) {
+  JoinGraph jg({Tp("?a", "p0", "?b"), Tp("?b", "p1", "?c"),
+                Tp("?c", "p2", "?a")});
+  EXPECT_EQ(ClassifyShape(jg), QueryShape::kCycle);
+  EXPECT_EQ(CyclomaticNumber(jg), 1);
+  EXPECT_DOUBLE_EQ(TpToJoinVarRatio(jg), 1.0);
+}
+
+TEST(ShapeTest, Tree) {
+  // A "T": center pattern with three join variables.
+  JoinGraph jg({Tp("?a", "p0", "?b"), Tp("?b", "p1", "?c"),
+                Tp("?b", "p2", "?d"), Tp("?d", "p3", "?e"),
+                Tp("?c", "p4", "?f")});
+  EXPECT_EQ(ClassifyShape(jg), QueryShape::kTree);
+  EXPECT_EQ(CyclomaticNumber(jg), 0);
+}
+
+TEST(ShapeTest, DenseFigure1) {
+  JoinGraph jg(testing::Figure1Query());
+  // Figure 1's query has the cycle tp2-?a-tp7-?d-tp6-?c-tp2.
+  EXPECT_EQ(ClassifyShape(jg), QueryShape::kDense);
+  EXPECT_GE(CyclomaticNumber(jg), 1);
+}
+
+TEST(ShapeTest, RatioBelowOneNeedsMultipleCycles) {
+  // Two triangles sharing one pattern: 5 patterns, 6 join variables.
+  JoinGraph jg({Tp("?a", "p0", "?b"), Tp("?b", "p1", "?c"),
+                Tp("?c", "p2", "?a"), Tp("?a", "p3", "?d"),
+                Tp("?d", "p4", "?b")});
+  EXPECT_EQ(ClassifyShape(jg), QueryShape::kDense);
+  EXPECT_GE(CyclomaticNumber(jg), 2);
+}
+
+// The random generator must produce what it is asked for.
+struct GenCase {
+  QueryShape shape;
+  int n;
+};
+
+class GeneratorShapeTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorShapeTest, ClassifiesAsRequested) {
+  Rng rng(1234 + GetParam().n);
+  for (int i = 0; i < 10; ++i) {
+    GeneratedQuery q =
+        GenerateRandomQuery(GetParam().shape, GetParam().n, rng);
+    ASSERT_EQ(static_cast<int>(q.patterns.size()), GetParam().n);
+    JoinGraph jg(q.patterns);
+    EXPECT_TRUE(jg.IsConnected(jg.AllTps()));
+    EXPECT_EQ(ClassifyShape(jg), GetParam().shape)
+        << ToString(ClassifyShape(jg)) << " for n=" << GetParam().n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeneratorShapeTest,
+    ::testing::Values(GenCase{QueryShape::kStar, 4},
+                      GenCase{QueryShape::kStar, 12},
+                      GenCase{QueryShape::kChain, 5},
+                      GenCase{QueryShape::kChain, 16},
+                      GenCase{QueryShape::kCycle, 6},
+                      GenCase{QueryShape::kCycle, 12},
+                      GenCase{QueryShape::kTree, 8},
+                      GenCase{QueryShape::kTree, 20},
+                      GenCase{QueryShape::kDense, 8},
+                      GenCase{QueryShape::kDense, 16}),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+      return ToString(info.param.shape) + std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace parqo

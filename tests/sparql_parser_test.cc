@@ -1,0 +1,101 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark_queries.h"
+
+namespace parqo {
+namespace {
+
+TEST(SparqlParserTest, ParsesMinimalQuery) {
+  auto q = ParseSparql("SELECT ?x WHERE { ?x <http://p> ?y . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select_vars, std::vector<std::string>{"x"});
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_TRUE(q->patterns[0].s.IsVar());
+  EXPECT_EQ(q->patterns[0].s.var, "x");
+  EXPECT_FALSE(q->patterns[0].p.IsVar());
+  EXPECT_EQ(q->patterns[0].p.term.lexical, "http://p");
+}
+
+TEST(SparqlParserTest, ExpandsPrefixedNames) {
+  auto q = ParseSparql(
+      "PREFIX ub: <http://ub#>\n"
+      "SELECT * WHERE { ?x ub:worksFor ?y . ?y ub:name \"CS\" }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->select_all);
+  ASSERT_EQ(q->patterns.size(), 2u);
+  EXPECT_EQ(q->patterns[0].p.term.lexical, "http://ub#worksFor");
+  EXPECT_EQ(q->patterns[1].o.term.kind, TermKind::kLiteral);
+  EXPECT_EQ(q->patterns[1].o.term.lexical, "CS");
+}
+
+TEST(SparqlParserTest, PrefixedNameWithTrailingDot) {
+  // "taxon:9606." must parse as the name then the pattern terminator.
+  auto q = ParseSparql(
+      "PREFIX taxon: <http://tax/>\n"
+      "SELECT ?p WHERE { ?p <http://org> taxon:9606. }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns[0].o.term.lexical, "http://tax/9606");
+}
+
+TEST(SparqlParserTest, OptionalFinalDot) {
+  auto q = ParseSparql(
+      "SELECT ?x WHERE { ?x <p> ?y . ?y <q> ?z }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns.size(), 2u);
+}
+
+TEST(SparqlParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseSparql("select ?x where { ?x <p> ?y }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(SparqlParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseSparql("SELECT WHERE { ?x <p> ?y }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x { ?x <p> ?y }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x <p> }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x <p> ?y ").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x undeclared:p ?y }").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { \"lit\" <p> ?y }").ok());
+  EXPECT_FALSE(ParseSparql("").ok());
+}
+
+TEST(SparqlParserTest, VariablePositionsEverywhere) {
+  auto q = ParseSparql("SELECT * WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->patterns[0].p.IsVar());
+}
+
+TEST(SparqlParserTest, RoundTripsThroughToString) {
+  auto q1 = ParseSparql(
+      "SELECT ?x ?y WHERE { ?x <http://p> ?y . ?y <http://q> \"v\" . }");
+  ASSERT_TRUE(q1.ok());
+  auto q2 = ParseSparql(q1->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString() << "\n" << q1->ToString();
+  EXPECT_EQ(q1->patterns, q2->patterns);
+}
+
+// Every benchmark query of Table III must parse with the advertised size.
+class BenchmarkQueryParseTest
+    : public ::testing::TestWithParam<BenchmarkQuery> {};
+
+TEST_P(BenchmarkQueryParseTest, ParsesWithExpectedSize) {
+  const BenchmarkQuery& bq = GetParam();
+  auto q = ParseSparql(bq.sparql);
+  ASSERT_TRUE(q.ok()) << bq.name << ": " << q.status().ToString();
+  EXPECT_EQ(static_cast<int>(q->patterns.size()), bq.num_patterns)
+      << bq.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarkQueries, BenchmarkQueryParseTest,
+    ::testing::ValuesIn(AllBenchmarkQueries()),
+    [](const ::testing::TestParamInfo<BenchmarkQuery>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace parqo

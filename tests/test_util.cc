@@ -1,0 +1,239 @@
+#include "tests/test_util.h"
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace parqo::testing {
+
+TriplePattern Tp(const std::string& s, const std::string& p,
+                 const std::string& o) {
+  auto term = [](const std::string& t) {
+    if (!t.empty() && t[0] == '?') return PatternTerm::Var(t.substr(1));
+    return PatternTerm::Const(Term::Iri(t));
+  };
+  TriplePattern tp;
+  tp.s = term(s);
+  tp.p = term(p);
+  tp.o = term(o);
+  return tp;
+}
+
+std::vector<TriplePattern> Figure1Query() {
+  return {
+      Tp("?b", "p1", "?a"),  // tp1
+      Tp("?c", "p2", "?a"),  // tp2
+      Tp("?a", "p3", "?e"),  // tp3
+      Tp("?e", "p4", "?g"),  // tp4
+      Tp("?b", "p5", "?f"),  // tp5
+      Tp("?c", "p6", "?d"),  // tp6
+      Tp("?a", "p7", "?d"),  // tp7
+  };
+}
+
+std::vector<TriplePattern> Figure4Query() {
+  return {
+      Tp("?vj", "p1", "?w"),   // tp1: in N_tp(vj), indivisible with tp2
+      Tp("?w", "p2", "c2"),    // tp2
+      Tp("?vj", "p3", "?x"),   // tp3: in N_tp(vj), indivisible with tp4
+      Tp("?x", "p4", "c4"),    // tp4
+      Tp("?vj", "?a", "?b"),   // tp5: in N_tp(vj), divisible component
+      Tp("?a", "?e", "?c"),    // tp6 (edges to tp5, tp7, tp8)
+      Tp("?c", "p7", "c7"),    // tp7
+      Tp("?b", "?e", "?d"),    // tp8 (edges to tp5, tp6, tp9)
+      Tp("?vj", "p9", "?d"),   // tp9: in N_tp(vj)
+  };
+}
+
+std::pair<TpSet, TpSet> CanonicalCbd(TpSet q, TpSet a, TpSet b) {
+  if (a.Contains(q.First())) return {a, b};
+  return {b, a};
+}
+
+std::set<std::pair<std::uint64_t, std::uint64_t>> BruteForceCbds(
+    const JoinGraph& jg, TpSet q, VarId vj) {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> out;
+  TpSet ntp = jg.Ntp(vj) & q;
+  const std::uint64_t bits = q.bits();
+  // Iterate proper non-empty submasks of q.
+  for (std::uint64_t sub = (bits - 1) & bits; sub != 0;
+       sub = (sub - 1) & bits) {
+    TpSet a(sub);
+    TpSet b = q - a;
+    if (b.Empty()) continue;
+    if (!a.Intersects(ntp) || !b.Intersects(ntp)) continue;
+    if (!jg.IsConnected(a) || !jg.IsConnected(b)) continue;
+    auto [x, y] = CanonicalCbd(q, a, b);
+    out.emplace(x.bits(), y.bits());
+  }
+  return out;
+}
+
+std::set<std::pair<std::vector<std::uint64_t>, VarId>> BruteForceCmds(
+    const JoinGraph& jg, TpSet q) {
+  std::set<std::pair<std::vector<std::uint64_t>, VarId>> out;
+  std::vector<int> elements;
+  for (int tp : q) elements.push_back(tp);
+
+  std::vector<TpSet> blocks;
+  std::function<void()> recurse = [&]() {
+    std::size_t next = 0;
+    TpSet used;
+    for (const TpSet& b : blocks) used |= b;
+    bool complete = true;
+    for (int e : elements) {
+      if (!used.Contains(e)) {
+        next = static_cast<std::size_t>(e);
+        complete = false;
+        break;
+      }
+    }
+    if (complete) {
+      if (blocks.size() < 2) return;
+      for (VarId vj : jg.join_vars()) {
+        bool ok = true;
+        for (const TpSet& b : blocks) {
+          if ((b & jg.Ntp(vj)).Empty() || !jg.IsConnected(b)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        std::vector<std::uint64_t> parts;
+        for (const TpSet& b : blocks) parts.push_back(b.bits());
+        std::sort(parts.begin(), parts.end());
+        out.emplace(parts, vj);
+      }
+      return;
+    }
+    // Place `next` into each existing block or a new one.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      blocks[i].Add(static_cast<int>(next));
+      recurse();
+      blocks[i].Remove(static_cast<int>(next));
+    }
+    blocks.push_back(TpSet::Singleton(static_cast<int>(next)));
+    recurse();
+    blocks.pop_back();
+  };
+  recurse();
+  return out;
+}
+
+std::set<std::vector<TermId>> ReferenceEvaluate(const JoinGraph& jg,
+                                                const RdfGraph& graph) {
+  // Pre-bucket triples by predicate id (0 bucket = all, for var
+  // predicates).
+  std::unordered_map<TermId, std::vector<const Triple*>> by_predicate;
+  for (const Triple& t : graph.triples()) {
+    by_predicate[t.p].push_back(&t);
+  }
+
+  const Dictionary& dict = graph.dict();
+  auto resolve = [&](const PatternTerm& t) -> std::pair<bool, TermId> {
+    if (t.IsVar()) return {false, kInvalidTermId};
+    return {true, dict.Lookup(t.term)};
+  };
+
+  struct Slot {
+    bool is_const;
+    TermId constant;
+    VarId var;
+  };
+  struct Pat {
+    Slot s, p, o;
+  };
+  std::vector<Pat> pats;
+  for (int i = 0; i < jg.num_tps(); ++i) {
+    const TriplePattern& tp = jg.pattern(i);
+    auto slot = [&](const PatternTerm& t) {
+      auto [is_const, id] = resolve(t);
+      Slot s;
+      s.is_const = is_const;
+      s.constant = id;
+      s.var = t.IsVar() ? jg.FindVar(t.var) : kInvalidVarId;
+      return s;
+    };
+    pats.push_back(Pat{slot(tp.s), slot(tp.p), slot(tp.o)});
+  }
+
+  std::vector<TermId> binding(jg.num_vars(), kInvalidTermId);
+  std::vector<bool> done(pats.size(), false);
+  std::set<std::vector<TermId>> results;
+
+  // Pick the next pattern greedily: prefer bound predicates and the most
+  // bound/constant positions.
+  auto pick = [&]() {
+    int best = -1;
+    int best_score = -1;
+    for (std::size_t i = 0; i < pats.size(); ++i) {
+      if (done[i]) continue;
+      int score = 0;
+      auto bound = [&](const Slot& s) {
+        return s.is_const ||
+               (s.var != kInvalidVarId && binding[s.var] != kInvalidTermId);
+      };
+      if (bound(pats[i].p)) score += 4;
+      if (bound(pats[i].s)) score += 2;
+      if (bound(pats[i].o)) score += 2;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  };
+
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == static_cast<int>(pats.size())) {
+      results.insert(binding);
+      return;
+    }
+    int i = pick();
+    done[i] = true;
+    const Pat& pat = pats[i];
+
+    auto each = [&](const Triple& t) {
+      std::vector<std::pair<VarId, TermId>> newly;
+      auto unify = [&](const Slot& s, TermId value) {
+        if (s.is_const) return s.constant == value;
+        if (binding[s.var] != kInvalidTermId) {
+          return binding[s.var] == value;
+        }
+        // Also handle two slots with the same fresh var in one pattern.
+        for (auto& [v, val] : newly) {
+          if (v == s.var) return val == value;
+        }
+        newly.emplace_back(s.var, value);
+        return true;
+      };
+      if (unify(pat.s, t.s) && unify(pat.p, t.p) && unify(pat.o, t.o)) {
+        for (auto& [v, val] : newly) binding[v] = val;
+        recurse(depth + 1);
+        for (auto& [v, val] : newly) binding[v] = kInvalidTermId;
+      }
+    };
+
+    TermId p_id = kInvalidTermId;
+    if (pat.p.is_const) {
+      p_id = pat.p.constant;
+    } else if (binding[pat.p.var] != kInvalidTermId) {
+      p_id = binding[pat.p.var];
+    }
+    if (p_id != kInvalidTermId) {
+      auto it = by_predicate.find(p_id);
+      if (it != by_predicate.end()) {
+        for (const Triple* t : it->second) each(*t);
+      }
+    } else {
+      for (const Triple& t : graph.triples()) each(t);
+    }
+    done[i] = false;
+  };
+  recurse(0);
+  return results;
+}
+
+}  // namespace parqo::testing

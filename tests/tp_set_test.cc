@@ -1,0 +1,111 @@
+#include "common/tp_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace parqo {
+namespace {
+
+TEST(TpSetTest, EmptyAndSingleton) {
+  TpSet empty;
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.Count(), 0);
+
+  TpSet s = TpSet::Singleton(5);
+  EXPECT_FALSE(s.Empty());
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.First(), 5);
+}
+
+TEST(TpSetTest, FullSet) {
+  EXPECT_EQ(TpSet::FullSet(0).Count(), 0);
+  EXPECT_EQ(TpSet::FullSet(7).Count(), 7);
+  EXPECT_EQ(TpSet::FullSet(64).Count(), 64);
+  EXPECT_TRUE(TpSet::FullSet(7).Contains(6));
+  EXPECT_FALSE(TpSet::FullSet(7).Contains(7));
+}
+
+TEST(TpSetTest, AddRemove) {
+  TpSet s;
+  s.Add(3);
+  s.Add(10);
+  s.Add(3);
+  EXPECT_EQ(s.Count(), 2);
+  s.Remove(3);
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_TRUE(s.Contains(10));
+  s.Remove(10);
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(TpSetTest, SetAlgebra) {
+  TpSet a;
+  a.Add(1);
+  a.Add(2);
+  a.Add(3);
+  TpSet b;
+  b.Add(3);
+  b.Add(4);
+
+  EXPECT_EQ((a | b).Count(), 4);
+  EXPECT_EQ((a & b).Count(), 1);
+  EXPECT_TRUE((a & b).Contains(3));
+  EXPECT_EQ((a - b).Count(), 2);
+  EXPECT_FALSE((a - b).Contains(3));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE((a - b).Intersects(b - a));
+}
+
+TEST(TpSetTest, SubsetRelation) {
+  TpSet a;
+  a.Add(1);
+  a.Add(2);
+  TpSet b = a;
+  b.Add(9);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(TpSet{}.IsSubsetOf(a));
+}
+
+TEST(TpSetTest, IterationAscending) {
+  TpSet s;
+  s.Add(63);
+  s.Add(0);
+  s.Add(17);
+  std::vector<int> got;
+  for (int i : s) got.push_back(i);
+  EXPECT_EQ(got, (std::vector<int>{0, 17, 63}));
+}
+
+TEST(TpSetTest, PopFirst) {
+  TpSet s;
+  s.Add(2);
+  s.Add(7);
+  EXPECT_EQ(s.PopFirst(), 2);
+  EXPECT_EQ(s.PopFirst(), 7);
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(TpSetTest, ToString) {
+  TpSet s;
+  EXPECT_EQ(s.ToString(), "{}");
+  s.Add(1);
+  s.Add(5);
+  EXPECT_EQ(s.ToString(), "{1, 5}");
+}
+
+TEST(TpSetTest, HashDistinguishes) {
+  TpSetHash h;
+  std::set<std::size_t> hashes;
+  for (int i = 0; i < 64; ++i) {
+    hashes.insert(h(TpSet::Singleton(i)));
+  }
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+}  // namespace
+}  // namespace parqo

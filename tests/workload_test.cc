@@ -1,0 +1,155 @@
+// Workload generators: LUBM/UniProt schema coverage (every benchmark
+// query must have matching bindings for its patterns), WatDiv template
+// structure, and synthetic statistics ranges.
+
+#include <gtest/gtest.h>
+
+#include "query/shape.h"
+#include "sparql/parser.h"
+#include "stats/data_stats.h"
+#include "workload/benchmark_queries.h"
+#include "workload/lubm.h"
+#include "workload/random_query.h"
+#include "workload/uniprot.h"
+#include "workload/watdiv.h"
+
+namespace parqo {
+namespace {
+
+TEST(LubmGeneratorTest, ScalesWithUniversities) {
+  LubmConfig small;
+  small.universities = 1;
+  LubmConfig larger = small;
+  larger.universities = 4;
+  RdfGraph g1 = GenerateLubm(small);
+  RdfGraph g4 = GenerateLubm(larger);
+  EXPECT_GT(g1.NumTriples(), 500u);
+  EXPECT_GT(g4.NumTriples(), g1.NumTriples() * 3);
+}
+
+TEST(LubmGeneratorTest, DeterministicForSeed) {
+  LubmConfig cfg;
+  cfg.universities = 1;
+  RdfGraph a = GenerateLubm(cfg);
+  RdfGraph b = GenerateLubm(cfg);
+  EXPECT_EQ(a.NumTriples(), b.NumTriples());
+}
+
+TEST(BenchmarkQueryTest, TableThreeShapesAndSizes) {
+  ASSERT_EQ(AllBenchmarkQueries().size(), 15u);
+  for (const BenchmarkQuery& bq : AllBenchmarkQueries()) {
+    auto parsed = ParseSparql(bq.sparql);
+    ASSERT_TRUE(parsed.ok()) << bq.name;
+    JoinGraph jg(parsed->patterns);
+    EXPECT_EQ(ClassifyShape(jg), bq.shape) << bq.name;
+    EXPECT_EQ(jg.num_tps(), bq.num_patterns) << bq.name;
+  }
+  EXPECT_EQ(GetBenchmarkQuery("L9").num_patterns, 11);
+}
+
+// Every pattern of every benchmark query must match data in its dataset;
+// otherwise the Table IV/V/VI reproduction would optimize trivia.
+class QueryCoverageTest : public ::testing::TestWithParam<BenchmarkQuery> {
+ protected:
+  static const RdfGraph& Lubm() {
+    static const RdfGraph& g = *new RdfGraph([] {
+      LubmConfig cfg;
+      cfg.universities = 7;
+      return GenerateLubm(cfg);
+    }());
+    return g;
+  }
+  static const RdfGraph& Uniprot() {
+    static const RdfGraph& g = *new RdfGraph([] {
+      UniprotConfig cfg;
+      cfg.proteins = 1500;
+      return GenerateUniprot(cfg);
+    }());
+    return g;
+  }
+};
+
+TEST_P(QueryCoverageTest, EveryPatternHasMatches) {
+  const BenchmarkQuery& bq = GetParam();
+  const RdfGraph& g = bq.lubm ? Lubm() : Uniprot();
+  auto parsed = ParseSparql(bq.sparql);
+  ASSERT_TRUE(parsed.ok());
+  JoinGraph jg(parsed->patterns);
+  QueryStatistics stats = ComputeStatisticsFromGraph(jg, g);
+  for (int tp = 0; tp < jg.num_tps(); ++tp) {
+    // Cardinality 1 is the floor for empty matches; require real matches
+    // by checking the constants resolve and some count was recorded.
+    EXPECT_GE(stats.Cardinality(tp), 1.0) << bq.name << " tp" << tp;
+  }
+  // The whole-query constants must at least resolve in the dictionary.
+  for (const TriplePattern& tp : parsed->patterns) {
+    for (const PatternTerm* t : {&tp.s, &tp.p, &tp.o}) {
+      if (!t->IsVar()) {
+        EXPECT_NE(g.dict().Lookup(t->term), kInvalidTermId)
+            << bq.name << " misses constant " << t->term.lexical;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueries, QueryCoverageTest,
+    ::testing::ValuesIn(AllBenchmarkQueries()),
+    [](const ::testing::TestParamInfo<BenchmarkQuery>& info) {
+      return info.param.name;
+    });
+
+TEST(UniprotGeneratorTest, U2ChainIsGuaranteed) {
+  UniprotConfig cfg;
+  cfg.proteins = 200;
+  RdfGraph g = GenerateUniprot(cfg);
+  EXPECT_NE(g.dict().LookupIri("http://purl.uniprot.org/uniprot/Q4N2B5"),
+            kInvalidTermId);
+}
+
+TEST(WatdivGeneratorTest, TemplatesAreConnectedAndSized) {
+  Rng rng(99);
+  auto templates = GenerateWatdivTemplates(124, rng);
+  ASSERT_EQ(templates.size(), 124u);
+  int stars = 0;
+  for (const WatdivTemplate& t : templates) {
+    ASSERT_GE(t.patterns.size(), 2u);
+    ASSERT_LE(t.patterns.size(), 10u);
+    JoinGraph jg(t.patterns);
+    EXPECT_TRUE(jg.IsConnected(jg.AllTps())) << "template " << t.id;
+    if (ClassifyShape(jg) == QueryShape::kStar) ++stars;
+  }
+  // The WatDiv mix is dominated by stars and star-joins.
+  EXPECT_GT(stars, 10);
+}
+
+TEST(WatdivGeneratorTest, InstancesVaryStatisticsNotStructure) {
+  Rng rng(100);
+  auto templates = GenerateWatdivTemplates(3, rng);
+  GeneratedQuery a = InstantiateWatdivTemplate(templates[0], rng);
+  GeneratedQuery b = InstantiateWatdivTemplate(templates[0], rng);
+  EXPECT_EQ(a.patterns, b.patterns);
+  EXPECT_NE(a.cardinalities, b.cardinalities);
+  for (double c : a.cardinalities) {
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 1000);
+  }
+}
+
+TEST(RandomQueryTest, StatisticsRespectPaperRanges) {
+  Rng rng(101);
+  GeneratedQuery q = GenerateRandomQuery(QueryShape::kTree, 10, rng);
+  JoinGraph jg(q.patterns);
+  QueryStatistics stats = q.MakeStats(jg);
+  for (int tp = 0; tp < jg.num_tps(); ++tp) {
+    EXPECT_GE(stats.Cardinality(tp), 1);
+    EXPECT_LE(stats.Cardinality(tp), 1000);
+    for (VarId v : jg.VarsOf(tp)) {
+      EXPECT_GE(stats.Bindings(tp, v), 1);
+      EXPECT_LE(stats.Bindings(tp, v), stats.Cardinality(tp));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parqo
