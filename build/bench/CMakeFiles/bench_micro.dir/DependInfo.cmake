@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/parqo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/parqo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/parqo_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/parqo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/parqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/parqo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/parqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/parqo_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/parqo_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/parqo_bench_util.dir/bench_util.cc.o.d"
+  "libparqo_bench_util.a"
+  "libparqo_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

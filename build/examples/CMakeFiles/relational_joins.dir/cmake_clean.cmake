@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_joins.dir/relational_joins.cpp.o"
+  "CMakeFiles/relational_joins.dir/relational_joins.cpp.o.d"
+  "relational_joins"
+  "relational_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_common.dir/strings.cc.o"
+  "CMakeFiles/parqo_common.dir/strings.cc.o.d"
+  "CMakeFiles/parqo_common.dir/tp_set.cc.o"
+  "CMakeFiles/parqo_common.dir/tp_set.cc.o.d"
+  "libparqo_common.a"
+  "libparqo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

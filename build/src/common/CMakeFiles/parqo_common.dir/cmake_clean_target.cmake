@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparqo_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_cost.dir/calibrate.cc.o"
+  "CMakeFiles/parqo_cost.dir/calibrate.cc.o.d"
+  "CMakeFiles/parqo_cost.dir/cost_model.cc.o"
+  "CMakeFiles/parqo_cost.dir/cost_model.cc.o.d"
+  "libparqo_cost.a"
+  "libparqo_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

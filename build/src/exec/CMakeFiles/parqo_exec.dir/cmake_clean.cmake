@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_exec.dir/binding_table.cc.o"
+  "CMakeFiles/parqo_exec.dir/binding_table.cc.o.d"
+  "CMakeFiles/parqo_exec.dir/cluster.cc.o"
+  "CMakeFiles/parqo_exec.dir/cluster.cc.o.d"
+  "CMakeFiles/parqo_exec.dir/executor.cc.o"
+  "CMakeFiles/parqo_exec.dir/executor.cc.o.d"
+  "CMakeFiles/parqo_exec.dir/node_store.cc.o"
+  "CMakeFiles/parqo_exec.dir/node_store.cc.o.d"
+  "libparqo_exec.a"
+  "libparqo_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/dp_bushy.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/dp_bushy.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/dp_bushy.cc.o.d"
+  "/root/repo/src/optimizer/enumeration_stats.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/enumeration_stats.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/enumeration_stats.cc.o.d"
+  "/root/repo/src/optimizer/grouped_graph.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/grouped_graph.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/grouped_graph.cc.o.d"
+  "/root/repo/src/optimizer/hgr_td_cmd.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/hgr_td_cmd.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/hgr_td_cmd.cc.o.d"
+  "/root/repo/src/optimizer/join_graph_reduction.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/join_graph_reduction.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/join_graph_reduction.cc.o.d"
+  "/root/repo/src/optimizer/msc.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/msc.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/msc.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/prepared_query.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/prepared_query.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/prepared_query.cc.o.d"
+  "/root/repo/src/optimizer/td_auto.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/td_auto.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/td_auto.cc.o.d"
+  "/root/repo/src/optimizer/td_cmd.cc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/td_cmd.cc.o" "gcc" "src/optimizer/CMakeFiles/parqo_optimizer.dir/td_cmd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/parqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/parqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/parqo_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/parqo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/parqo_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/parqo_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_optimizer.dir/dp_bushy.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/dp_bushy.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/enumeration_stats.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/enumeration_stats.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/grouped_graph.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/grouped_graph.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/hgr_td_cmd.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/hgr_td_cmd.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/join_graph_reduction.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/join_graph_reduction.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/msc.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/msc.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/prepared_query.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/prepared_query.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/td_auto.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/td_auto.cc.o.d"
+  "CMakeFiles/parqo_optimizer.dir/td_cmd.cc.o"
+  "CMakeFiles/parqo_optimizer.dir/td_cmd.cc.o.d"
+  "libparqo_optimizer.a"
+  "libparqo_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

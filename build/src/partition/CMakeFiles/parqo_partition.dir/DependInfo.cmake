@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/hash_so.cc" "src/partition/CMakeFiles/parqo_partition.dir/hash_so.cc.o" "gcc" "src/partition/CMakeFiles/parqo_partition.dir/hash_so.cc.o.d"
+  "/root/repo/src/partition/hot_query.cc" "src/partition/CMakeFiles/parqo_partition.dir/hot_query.cc.o" "gcc" "src/partition/CMakeFiles/parqo_partition.dir/hot_query.cc.o.d"
+  "/root/repo/src/partition/local_query_index.cc" "src/partition/CMakeFiles/parqo_partition.dir/local_query_index.cc.o" "gcc" "src/partition/CMakeFiles/parqo_partition.dir/local_query_index.cc.o.d"
+  "/root/repo/src/partition/min_edge_cut.cc" "src/partition/CMakeFiles/parqo_partition.dir/min_edge_cut.cc.o" "gcc" "src/partition/CMakeFiles/parqo_partition.dir/min_edge_cut.cc.o.d"
+  "/root/repo/src/partition/path_bmc.cc" "src/partition/CMakeFiles/parqo_partition.dir/path_bmc.cc.o" "gcc" "src/partition/CMakeFiles/parqo_partition.dir/path_bmc.cc.o.d"
+  "/root/repo/src/partition/two_hop.cc" "src/partition/CMakeFiles/parqo_partition.dir/two_hop.cc.o" "gcc" "src/partition/CMakeFiles/parqo_partition.dir/two_hop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/parqo_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/parqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/parqo_sparql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_partition.dir/hash_so.cc.o"
+  "CMakeFiles/parqo_partition.dir/hash_so.cc.o.d"
+  "CMakeFiles/parqo_partition.dir/hot_query.cc.o"
+  "CMakeFiles/parqo_partition.dir/hot_query.cc.o.d"
+  "CMakeFiles/parqo_partition.dir/local_query_index.cc.o"
+  "CMakeFiles/parqo_partition.dir/local_query_index.cc.o.d"
+  "CMakeFiles/parqo_partition.dir/min_edge_cut.cc.o"
+  "CMakeFiles/parqo_partition.dir/min_edge_cut.cc.o.d"
+  "CMakeFiles/parqo_partition.dir/path_bmc.cc.o"
+  "CMakeFiles/parqo_partition.dir/path_bmc.cc.o.d"
+  "CMakeFiles/parqo_partition.dir/two_hop.cc.o"
+  "CMakeFiles/parqo_partition.dir/two_hop.cc.o.d"
+  "libparqo_partition.a"
+  "libparqo_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

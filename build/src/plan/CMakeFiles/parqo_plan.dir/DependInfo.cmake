@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/export.cc" "src/plan/CMakeFiles/parqo_plan.dir/export.cc.o" "gcc" "src/plan/CMakeFiles/parqo_plan.dir/export.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/plan/CMakeFiles/parqo_plan.dir/plan.cc.o" "gcc" "src/plan/CMakeFiles/parqo_plan.dir/plan.cc.o.d"
+  "/root/repo/src/plan/validate.cc" "src/plan/CMakeFiles/parqo_plan.dir/validate.cc.o" "gcc" "src/plan/CMakeFiles/parqo_plan.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/parqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/parqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/parqo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/parqo_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/parqo_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

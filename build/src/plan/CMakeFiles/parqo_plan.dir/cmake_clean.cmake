@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_plan.dir/export.cc.o"
+  "CMakeFiles/parqo_plan.dir/export.cc.o.d"
+  "CMakeFiles/parqo_plan.dir/plan.cc.o"
+  "CMakeFiles/parqo_plan.dir/plan.cc.o.d"
+  "CMakeFiles/parqo_plan.dir/validate.cc.o"
+  "CMakeFiles/parqo_plan.dir/validate.cc.o.d"
+  "libparqo_plan.a"
+  "libparqo_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

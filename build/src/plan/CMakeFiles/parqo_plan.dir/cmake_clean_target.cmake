@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparqo_plan.a"
+)

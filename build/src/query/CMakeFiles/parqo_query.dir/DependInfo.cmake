@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/join_graph.cc" "src/query/CMakeFiles/parqo_query.dir/join_graph.cc.o" "gcc" "src/query/CMakeFiles/parqo_query.dir/join_graph.cc.o.d"
+  "/root/repo/src/query/match.cc" "src/query/CMakeFiles/parqo_query.dir/match.cc.o" "gcc" "src/query/CMakeFiles/parqo_query.dir/match.cc.o.d"
+  "/root/repo/src/query/query_graph.cc" "src/query/CMakeFiles/parqo_query.dir/query_graph.cc.o" "gcc" "src/query/CMakeFiles/parqo_query.dir/query_graph.cc.o.d"
+  "/root/repo/src/query/shape.cc" "src/query/CMakeFiles/parqo_query.dir/shape.cc.o" "gcc" "src/query/CMakeFiles/parqo_query.dir/shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/parqo_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/parqo_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_query.dir/join_graph.cc.o"
+  "CMakeFiles/parqo_query.dir/join_graph.cc.o.d"
+  "CMakeFiles/parqo_query.dir/match.cc.o"
+  "CMakeFiles/parqo_query.dir/match.cc.o.d"
+  "CMakeFiles/parqo_query.dir/query_graph.cc.o"
+  "CMakeFiles/parqo_query.dir/query_graph.cc.o.d"
+  "CMakeFiles/parqo_query.dir/shape.cc.o"
+  "CMakeFiles/parqo_query.dir/shape.cc.o.d"
+  "libparqo_query.a"
+  "libparqo_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

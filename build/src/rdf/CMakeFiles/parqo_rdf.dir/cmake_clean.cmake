@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/parqo_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/parqo_rdf.dir/graph.cc.o"
+  "CMakeFiles/parqo_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/parqo_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/parqo_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/parqo_rdf.dir/term.cc.o"
+  "CMakeFiles/parqo_rdf.dir/term.cc.o.d"
+  "libparqo_rdf.a"
+  "libparqo_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

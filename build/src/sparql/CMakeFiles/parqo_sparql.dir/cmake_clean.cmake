@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_sparql.dir/parser.cc.o"
+  "CMakeFiles/parqo_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/parqo_sparql.dir/query.cc.o"
+  "CMakeFiles/parqo_sparql.dir/query.cc.o.d"
+  "libparqo_sparql.a"
+  "libparqo_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

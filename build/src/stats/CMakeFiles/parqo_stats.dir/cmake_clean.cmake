@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_stats.dir/data_stats.cc.o"
+  "CMakeFiles/parqo_stats.dir/data_stats.cc.o.d"
+  "CMakeFiles/parqo_stats.dir/estimator.cc.o"
+  "CMakeFiles/parqo_stats.dir/estimator.cc.o.d"
+  "libparqo_stats.a"
+  "libparqo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

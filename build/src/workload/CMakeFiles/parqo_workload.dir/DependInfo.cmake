@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark_queries.cc" "src/workload/CMakeFiles/parqo_workload.dir/benchmark_queries.cc.o" "gcc" "src/workload/CMakeFiles/parqo_workload.dir/benchmark_queries.cc.o.d"
+  "/root/repo/src/workload/lubm.cc" "src/workload/CMakeFiles/parqo_workload.dir/lubm.cc.o" "gcc" "src/workload/CMakeFiles/parqo_workload.dir/lubm.cc.o.d"
+  "/root/repo/src/workload/random_query.cc" "src/workload/CMakeFiles/parqo_workload.dir/random_query.cc.o" "gcc" "src/workload/CMakeFiles/parqo_workload.dir/random_query.cc.o.d"
+  "/root/repo/src/workload/uniprot.cc" "src/workload/CMakeFiles/parqo_workload.dir/uniprot.cc.o" "gcc" "src/workload/CMakeFiles/parqo_workload.dir/uniprot.cc.o.d"
+  "/root/repo/src/workload/watdiv.cc" "src/workload/CMakeFiles/parqo_workload.dir/watdiv.cc.o" "gcc" "src/workload/CMakeFiles/parqo_workload.dir/watdiv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/parqo_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/parqo_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/parqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parqo_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

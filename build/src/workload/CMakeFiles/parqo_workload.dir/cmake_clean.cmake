@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_workload.dir/benchmark_queries.cc.o"
+  "CMakeFiles/parqo_workload.dir/benchmark_queries.cc.o.d"
+  "CMakeFiles/parqo_workload.dir/lubm.cc.o"
+  "CMakeFiles/parqo_workload.dir/lubm.cc.o.d"
+  "CMakeFiles/parqo_workload.dir/random_query.cc.o"
+  "CMakeFiles/parqo_workload.dir/random_query.cc.o.d"
+  "CMakeFiles/parqo_workload.dir/uniprot.cc.o"
+  "CMakeFiles/parqo_workload.dir/uniprot.cc.o.d"
+  "CMakeFiles/parqo_workload.dir/watdiv.cc.o"
+  "CMakeFiles/parqo_workload.dir/watdiv.cc.o.d"
+  "libparqo_workload.a"
+  "libparqo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbd_test.dir/cbd_test.cc.o"
+  "CMakeFiles/cbd_test.dir/cbd_test.cc.o.d"
+  "cbd_test"
+  "cbd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

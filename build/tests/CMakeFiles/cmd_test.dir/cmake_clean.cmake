@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmd_test.dir/cmd_test.cc.o"
+  "CMakeFiles/cmd_test.dir/cmd_test.cc.o.d"
+  "cmd_test"
+  "cmd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_plan_test.dir/cost_plan_test.cc.o"
+  "CMakeFiles/cost_plan_test.dir/cost_plan_test.cc.o.d"
+  "cost_plan_test"
+  "cost_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumeration_stats_test.dir/enumeration_stats_test.cc.o"
+  "CMakeFiles/enumeration_stats_test.dir/enumeration_stats_test.cc.o.d"
+  "enumeration_stats_test"
+  "enumeration_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumeration_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgr_test.dir/hgr_test.cc.o"
+  "CMakeFiles/hgr_test.dir/hgr_test.cc.o.d"
+  "hgr_test"
+  "hgr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

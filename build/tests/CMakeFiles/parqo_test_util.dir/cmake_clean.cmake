@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_test_util.dir/test_util.cc.o"
+  "CMakeFiles/parqo_test_util.dir/test_util.cc.o.d"
+  "libparqo_test_util.a"
+  "libparqo_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/td_cmd_test.dir/td_cmd_test.cc.o"
+  "CMakeFiles/td_cmd_test.dir/td_cmd_test.cc.o.d"
+  "td_cmd_test"
+  "td_cmd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/td_cmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_set_test.dir/tp_set_test.cc.o"
+  "CMakeFiles/tp_set_test.dir/tp_set_test.cc.o.d"
+  "tp_set_test"
+  "tp_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parqo_cli.dir/parqo_cli.cc.o"
+  "CMakeFiles/parqo_cli.dir/parqo_cli.cc.o.d"
+  "parqo_cli"
+  "parqo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parqo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
