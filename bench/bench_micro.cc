@@ -6,10 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "common/rng.h"
 #include "exec/binding_table.h"
 #include "optimizer/cbd_enumerator.h"
 #include "optimizer/cmd_enumerator.h"
+#include "optimizer/td_cmd_core.h"
 #include "partition/hash_so.h"
 #include "partition/local_query_index.h"
 #include "query/query_graph.h"
@@ -119,6 +122,58 @@ void BM_CardinalityEstimation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CardinalityEstimation)->Arg(8)->Arg(16)->Arg(30);
+
+// Hook-dispatch cost in the hottest recursion: TdCmdCore's leaf/local
+// hooks used to be std::function (one indirect call per memo miss); they
+// are now template parameters. The two variants below run the identical
+// full TD-CMD optimization, differing only in how the hooks are passed —
+// the delta is the dispatch overhead bought back by the refactor. The
+// estimator is shared (warm after the first iteration) in both, so the
+// comparison isolates call dispatch.
+struct TdCmdHookFixture {
+  explicit TdCmdHookFixture(int n)
+      : q(MakeQuery(QueryShape::kChain, n)),
+        jg(q.patterns),
+        index(LocalQueryIndex::None(jg.num_tps())),
+        est(jg, q.MakeStats(jg)),
+        builder(est, CostModel()) {}
+  GeneratedQuery q;
+  JoinGraph jg;
+  LocalQueryIndex index;
+  CardinalityEstimator est;
+  PlanBuilder builder;
+};
+
+void BM_TdCmdHooksFunctor(benchmark::State& state) {
+  TdCmdHookFixture fx(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TdCmdCore core(
+        fx.jg, fx.builder, TdCmdRules{},
+        [&](int tp) { return fx.builder.Scan(tp); },
+        [&](TpSet s) { return fx.index.IsLocal(s); },
+        [&](TpSet s) { return fx.builder.LocalJoinAll(s); });
+    benchmark::DoNotOptimize(core.Run());
+  }
+}
+BENCHMARK(BM_TdCmdHooksFunctor)->Arg(16)->Arg(30);
+
+void BM_TdCmdHooksStdFunction(benchmark::State& state) {
+  TdCmdHookFixture fx(static_cast<int>(state.range(0)));
+  std::function<PlanNodePtr(int)> leaf = [&](int tp) {
+    return fx.builder.Scan(tp);
+  };
+  std::function<bool(TpSet)> is_local = [&](TpSet s) {
+    return fx.index.IsLocal(s);
+  };
+  std::function<PlanNodePtr(TpSet)> local = [&](TpSet s) {
+    return fx.builder.LocalJoinAll(s);
+  };
+  for (auto _ : state) {
+    TdCmdCore core(fx.jg, fx.builder, TdCmdRules{}, leaf, is_local, local);
+    benchmark::DoNotOptimize(core.Run());
+  }
+}
+BENCHMARK(BM_TdCmdHooksStdFunction)->Arg(16)->Arg(30);
 
 void BM_BindingTableDeduplicate(benchmark::State& state) {
   Rng rng(9);

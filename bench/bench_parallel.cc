@@ -1,0 +1,246 @@
+// Parallel-optimizer bench: how much faster does the WatDiv batch
+// workload (Fig 6's 124 templates x N instances) optimize when the
+// optimizer itself runs multi-threaded?
+//
+//   (a) inter-query: the whole batch dispatched to a ParallelOptimizer
+//       pool, sweeping worker counts (--threads=1,2,4,8); the 1-thread
+//       row is a plain sequential loop and is the speedup baseline. Every
+//       parallel pass is cross-checked against the baseline: plan costs
+//       must be identical for every query (determinism contract).
+//   (b) intra-query: one large query per shape, sweeping
+//       OptimizeOptions::num_threads through TdCmdCore::RunParallel.
+//
+// Every pass re-prepares its queries so no pass inherits another's warm
+// cardinality memo. --json=PATH additionally emits the results machine-
+// readable (threads -> seconds/speedup) for trend tracking across PRs.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "optimizer/parallel_optimizer.h"
+#include "partition/hash_so.h"
+#include "workload/random_query.h"
+#include "workload/watdiv.h"
+
+namespace parqo::bench {
+namespace {
+
+struct PassResult {
+  int threads = 1;
+  double seconds = 0;
+  bool costs_match = true;
+  int mismatches = 0;
+};
+
+std::vector<std::unique_ptr<PreparedQuery>> PrepareAll(
+    const std::vector<GeneratedQuery>& instances,
+    const Partitioner& partitioner) {
+  std::vector<std::unique_ptr<PreparedQuery>> out;
+  out.reserve(instances.size());
+  for (const GeneratedQuery& q : instances) {
+    out.push_back(Prepare(q, partitioner));
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  const int kTemplates = flags.quick ? 20 : 124;
+  std::vector<int> thread_counts = ParseThreadList(flags.threads);
+  if (thread_counts.empty() || thread_counts.front() != 1) {
+    thread_counts.insert(thread_counts.begin(), 1);
+  }
+
+  std::printf("=== bench_parallel: optimizer throughput vs. threads ===\n");
+  std::printf(
+      "WatDiv batch: %d templates x %d instances; hardware_concurrency=%d\n\n",
+      kTemplates, flags.watdiv_instances, ThreadPool::DefaultConcurrency());
+
+  Rng template_rng(flags.seed);
+  auto templates = GenerateWatdivTemplates(kTemplates, template_rng);
+  Rng instance_rng(flags.seed + 1);
+  std::vector<GeneratedQuery> instances;
+  for (const WatdivTemplate& tmpl : templates) {
+    for (int i = 0; i < flags.watdiv_instances; ++i) {
+      instances.push_back(InstantiateWatdivTemplate(tmpl, instance_rng));
+    }
+  }
+  std::printf("batch size: %zu queries\n\n", instances.size());
+
+  HashSoPartitioner hash;
+  OptimizeOptions options;
+  options.timeout_seconds = flags.timeout;
+  options.cost_params.num_nodes = flags.nodes;
+
+  const std::vector<std::pair<Algorithm, std::string>> kAlgorithms{
+      {Algorithm::kTdCmd, "TD-CMD"}, {Algorithm::kTdAuto, "TD-Auto"}};
+
+  std::string json = "{\n";
+  char jbuf[256];
+  std::snprintf(jbuf, sizeof(jbuf),
+                "  \"workload\": {\"templates\": %d, \"instances\": %d, "
+                "\"queries\": %zu},\n  \"hardware_concurrency\": %d,\n"
+                "  \"batch\": [\n",
+                kTemplates, flags.watdiv_instances, instances.size(),
+                ThreadPool::DefaultConcurrency());
+  json += jbuf;
+  bool first_json_row = true;
+
+  std::printf("--- (a) inter-query batch optimization ---\n");
+  bool all_match = true;
+  for (const auto& [algorithm, name] : kAlgorithms) {
+    PrintRow(name, {"threads", "seconds", "speedup", "costs"});
+    PrintRule(10, 4);
+
+    std::vector<double> baseline_costs;
+    double baseline_seconds = 0;
+    for (int t : thread_counts) {
+      // Fresh preparation per pass: no pass benefits from a previous
+      // pass's warm cardinality memos.
+      auto prepared = PrepareAll(instances, hash);
+      std::vector<const PreparedQuery*> queries;
+      queries.reserve(prepared.size());
+      for (const auto& p : prepared) queries.push_back(p.get());
+
+      PassResult pass;
+      pass.threads = t;
+      if (t == 1) {
+        Stopwatch watch;
+        std::vector<OptimizeResult> results;
+        results.reserve(queries.size());
+        for (const PreparedQuery* q : queries) {
+          results.push_back(Optimize(algorithm, q->inputs(), options));
+        }
+        pass.seconds = watch.ElapsedSeconds();
+        baseline_seconds = pass.seconds;
+        baseline_costs.reserve(results.size());
+        for (const OptimizeResult& r : results) {
+          baseline_costs.push_back(r.plan != nullptr ? r.plan->total_cost
+                                                     : -1.0);
+        }
+      } else {
+        ParallelOptimizer popt(t);
+        Stopwatch watch;
+        std::vector<OptimizeResult> results =
+            popt.OptimizeBatch(algorithm, queries, options);
+        pass.seconds = watch.ElapsedSeconds();
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          double cost = results[i].plan != nullptr
+                            ? results[i].plan->total_cost
+                            : -1.0;
+          if (cost != baseline_costs[i]) {
+            pass.costs_match = false;
+            ++pass.mismatches;
+          }
+        }
+      }
+      all_match = all_match && pass.costs_match;
+
+      double speedup = pass.seconds > 0 ? baseline_seconds / pass.seconds : 0;
+      char sec[32], spd[32];
+      std::snprintf(sec, sizeof(sec), "%.3fs", pass.seconds);
+      std::snprintf(spd, sizeof(spd), "%.2fx", speedup);
+      PrintRow("", {std::to_string(t), sec, spd,
+                    pass.costs_match
+                        ? "ok"
+                        : ("MISMATCH:" + std::to_string(pass.mismatches))});
+
+      std::snprintf(jbuf, sizeof(jbuf),
+                    "%s    {\"algorithm\": \"%s\", \"threads\": %d, "
+                    "\"seconds\": %.6f, \"speedup\": %.4f, "
+                    "\"costs_match\": %s}",
+                    first_json_row ? "" : ",\n", name.c_str(), t,
+                    pass.seconds, speedup, pass.costs_match ? "true" : "false");
+      json += jbuf;
+      first_json_row = false;
+    }
+    std::printf("\n");
+  }
+  json += "\n  ],\n  \"intra_query\": [\n";
+
+  std::printf("--- (b) intra-query parallel enumeration ---\n");
+  struct IntraCase {
+    QueryShape shape;
+    int num_tps;
+  };
+  const std::vector<IntraCase> kIntraCases{{QueryShape::kChain, 30},
+                                           {QueryShape::kCycle, 20},
+                                           {QueryShape::kStar, 12},
+                                           {QueryShape::kDense, 12}};
+  first_json_row = true;
+  for (const IntraCase& c : kIntraCases) {
+    Rng rng(flags.seed + c.num_tps);
+    GeneratedQuery q = GenerateRandomQuery(c.shape, c.num_tps, rng);
+    std::string label =
+        std::string(ToString(c.shape)) + "-" + std::to_string(c.num_tps);
+    PrintRow(label, {"threads", "seconds", "speedup", "cost"});
+    PrintRule(10, 4);
+
+    double baseline_seconds = 0;
+    double baseline_cost = -1;
+    bool shape_match = true;
+    for (int t : thread_counts) {
+      // Fresh fixture per run (cold estimator memo).
+      NoLocalityFixture fx(q);
+      OptimizeOptions intra = options;
+      intra.num_threads = t;
+      ParallelOptimizer popt(t);
+      intra.thread_pool = &popt.pool();
+      Stopwatch watch;
+      OptimizeResult r = Optimize(Algorithm::kTdCmd, fx.inputs(), intra);
+      double seconds = watch.ElapsedSeconds();
+      double cost = r.plan != nullptr ? r.plan->total_cost : -1.0;
+      if (t == 1) {
+        baseline_seconds = seconds;
+        baseline_cost = cost;
+      } else if (cost != baseline_cost) {
+        shape_match = false;
+        all_match = false;
+      }
+      double speedup = seconds > 0 ? baseline_seconds / seconds : 0;
+      char sec[32], spd[32];
+      std::snprintf(sec, sizeof(sec), "%.3fs", seconds);
+      std::snprintf(spd, sizeof(spd), "%.2fx", speedup);
+      PrintRow("", {std::to_string(t), sec, spd, CostCell(r)});
+
+      std::snprintf(jbuf, sizeof(jbuf),
+                    "%s    {\"query\": \"%s\", \"threads\": %d, "
+                    "\"seconds\": %.6f, \"speedup\": %.4f}",
+                    first_json_row ? "" : ",\n", label.c_str(), t, seconds,
+                    speedup);
+      json += jbuf;
+      first_json_row = false;
+    }
+    if (!shape_match) PrintRow("", {"", "", "", "COST MISMATCH"});
+    std::printf("\n");
+  }
+  json += "\n  ],\n";
+  json += std::string("  \"costs_match\": ") + (all_match ? "true" : "false") +
+          "\n}\n";
+
+  std::printf("determinism: parallel plan costs %s sequential baseline\n",
+              all_match ? "identical to" : "DIVERGED from");
+
+  if (!flags.json.empty()) {
+    if (FILE* f = std::fopen(flags.json.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("json written to %s\n", flags.json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+      return 1;
+    }
+  }
+  return all_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace parqo::bench
+
+int main(int argc, char** argv) { return parqo::bench::Main(argc, argv); }

@@ -33,6 +33,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.repeats = std::atoi(v);
     } else if (const char* v = value("--seed")) {
       flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--threads")) {
+      flags.threads = v;
+    } else if (const char* v = value("--json")) {
+      flags.json = v;
     } else if (arg == "--quick") {
       flags.quick = true;
     } else {
@@ -40,7 +44,7 @@ Flags ParseFlags(int argc, char** argv) {
                    "unknown flag: %s\n"
                    "flags: --timeout=S --nodes=N --lubm-universities=N "
                    "--uniprot-proteins=N --watdiv-instances=N --repeats=N "
-                   "--seed=N --quick\n",
+                   "--seed=N --threads=CSV --json=PATH --quick\n",
                    argv[i]);
       std::exit(2);
     }
@@ -53,6 +57,21 @@ Flags ParseFlags(int argc, char** argv) {
     flags.repeats = 1;
   }
   return flags;
+}
+
+std::vector<int> ParseThreadList(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > pos) {
+      int t = std::atoi(csv.substr(pos, comma - pos).c_str());
+      if (t > 0) out.push_back(t);
+    }
+    pos = comma + 1;
+  }
+  return out;
 }
 
 std::string TimeCell(const OptimizeResult& result, const Flags& flags) {

@@ -30,7 +30,14 @@ struct Flags {
   int repeats = 3;             ///< Random queries per configuration.
   std::uint64_t seed = 2017;
   bool quick = false;          ///< Shrink sweeps for smoke runs.
+  /// bench_parallel: comma-separated worker counts to sweep.
+  std::string threads = "1,2,4,8";
+  /// bench_parallel: write machine-readable results here ("" = don't).
+  std::string json;
 };
+
+/// Parses "1,2,4" into {1, 2, 4}; ignores empty fields.
+std::vector<int> ParseThreadList(const std::string& csv);
 
 /// Parses --name=value flags; unknown flags abort with usage.
 Flags ParseFlags(int argc, char** argv);

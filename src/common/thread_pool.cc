@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace parqo {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
+                             int max_workers) {
+  if (n <= 0) return;
+  int helpers = std::min(size(), n - 1);
+  if (max_workers > 0) helpers = std::min(helpers, max_workers - 1);
+  if (helpers <= 0) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared by the caller and the helper tasks; shared_ptr so a helper that
+  // wakes up after all items are done (and ParallelFor has returned) still
+  // has valid state to observe.
+  struct State {
+    const std::function<void(int)>* fn;
+    int n;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = &fn;
+  state->n = n;
+
+  auto drain = [](State& s) {
+    int i;
+    while ((i = s.next.fetch_add(1, std::memory_order_relaxed)) < s.n) {
+      (*s.fn)(i);
+      if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.cv.notify_all();
+      }
+    }
+  };
+
+  for (int h = 0; h < helpers; ++h) {
+    Submit([state, drain] { drain(*state); });
+  }
+  drain(*state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= state->n;
+  });
+}
+
+int ThreadPool::DefaultConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultConcurrency());
+  return *pool;
+}
+
+}  // namespace parqo

@@ -1,0 +1,68 @@
+// Fixed-size worker pool shared by the parallel optimizer paths and the
+// simulated cluster. Workers are started once and reused — submitting work
+// never spawns a thread — which is what lets the batch optimizer sustain a
+// stream of queries (the Partout/PHD-Store workload shape) without
+// thread-churn, and caps the executor's per-node fan-out.
+//
+// ParallelFor is the only blocking primitive and it is deadlock-free under
+// nesting: the caller drains items itself while pool workers help, so
+// progress never depends on a pool slot being free. This matters because
+// an inter-query batch task may itself run an intra-query parallel
+// enumeration on the same pool.
+
+#ifndef PARQO_COMMON_THREAD_POOL_H_
+#define PARQO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parqo {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0), ..., fn(n-1), distributed over up to `max_workers`
+  /// threads (0 = no extra cap beyond the pool size). The calling thread
+  /// participates, so this never deadlocks even when invoked from inside
+  /// a pool task; it returns once every index has completed.
+  void ParallelFor(int n, const std::function<void(int)>& fn,
+                   int max_workers = 0);
+
+  /// Process-wide pool sized to hardware_concurrency. Created on first
+  /// use and intentionally never destroyed (workers must outlive static
+  /// destruction order).
+  static ThreadPool& Global();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int DefaultConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_COMMON_THREAD_POOL_H_

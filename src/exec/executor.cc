@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <functional>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "partition/partitioner.h"
 
 namespace parqo {
@@ -119,19 +119,21 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right) {
   return out;
 }
 
-// Runs fn(0..n-1), one thread per node when parallel (the simulated
-// cluster's nodes genuinely work concurrently). fn must only touch
-// node-local state.
+// Concurrency cap for simulated-node work: beyond this many workers the
+// extra threads only add scheduling overhead (cluster sizes in the
+// hundreds used to spawn one thread each).
+constexpr int kMaxNodeWorkers = 32;
+
+// Runs fn(0..n-1); when parallel, the simulated cluster's nodes work
+// concurrently on the shared pool (bounded workers, no per-node thread
+// spawn). fn must only touch node-local state.
 void ForEachNode(int n, bool parallel,
                  const std::function<void(int)>& fn) {
   if (!parallel || n <= 1) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (int i = 0; i < n; ++i) threads.emplace_back(fn, i);
-  for (std::thread& t : threads) t.join();
+  ThreadPool::Global().ParallelFor(n, fn, kMaxNodeWorkers);
 }
 
 }  // namespace

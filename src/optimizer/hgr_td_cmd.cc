@@ -1,6 +1,7 @@
 #include "optimizer/hgr_td_cmd.h"
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "optimizer/grouped_graph.h"
 #include "optimizer/join_graph_reduction.h"
 #include "optimizer/td_cmd_core.h"
@@ -33,7 +34,7 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
   }
 
   GroupedJoinGraph grouped(jg, jgr.groups);
-  TdCmdCore<GroupedJoinGraph> core(
+  TdCmdCore core(
       grouped, builder, TdCmdRules{},  // plain TD-CMD on the reduced graph
       /*leaf_plan=*/
       [&](int rel) { return group_leaf(grouped.GroupTps(rel)); },
@@ -47,7 +48,13 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
       },
       options.timeout_seconds);
 
-  result.plan = core.Run();
+  if (options.num_threads > 1) {
+    ThreadPool& pool = options.thread_pool != nullptr ? *options.thread_pool
+                                                      : ThreadPool::Global();
+    result.plan = core.RunParallel(pool, options.num_threads);
+  } else {
+    result.plan = core.Run();
+  }
   result.seconds = watch.ElapsedSeconds();
   result.enumerated = core.stats().enumerated_cmds;
   result.timed_out = core.stats().timed_out;

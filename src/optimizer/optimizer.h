@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "partition/local_query_index.h"
 #include "plan/plan.h"
@@ -55,6 +56,14 @@ struct OptimizeOptions {
   /// Wall-clock budget, after which the algorithm gives up (the paper caps
   /// runs at 600 s in Section V-C).
   double timeout_seconds = 600.0;
+
+  /// Intra-query enumeration workers for the TD-CMD family (root-level
+  /// cmds fanned out over a shared memo; see td_cmd_core.h). 1 runs the
+  /// lock-free sequential path; parallel runs return plans of identical
+  /// cost. Workers come from `thread_pool`, or the process-global pool
+  /// when null.
+  int num_threads = 1;
+  ThreadPool* thread_pool = nullptr;
 
   /// TD-Auto thresholds (Figure 5; Section IV-C reports the values used
   /// in the paper's experiments).

@@ -1,0 +1,37 @@
+#include "optimizer/parallel_optimizer.h"
+
+#include "common/status.h"
+
+namespace parqo {
+
+ParallelOptimizer::ParallelOptimizer(int num_threads)
+    : pool_(num_threads > 0 ? num_threads
+                            : ThreadPool::DefaultConcurrency()) {}
+
+std::vector<OptimizeResult> ParallelOptimizer::OptimizeBatch(
+    const std::vector<BatchQuery>& batch, const OptimizeOptions& options) {
+  std::vector<OptimizeResult> results(batch.size());
+  OptimizeOptions per_query = options;
+  // Intra-query workers come from the batch pool, not a fresh one.
+  if (per_query.num_threads > 1 && per_query.thread_pool == nullptr) {
+    per_query.thread_pool = &pool_;
+  }
+  pool_.ParallelFor(static_cast<int>(batch.size()), [&](int i) {
+    const BatchQuery& item = batch[static_cast<std::size_t>(i)];
+    PARQO_CHECK(item.query != nullptr);
+    results[static_cast<std::size_t>(i)] =
+        Optimize(item.algorithm, item.query->inputs(), per_query);
+  });
+  return results;
+}
+
+std::vector<OptimizeResult> ParallelOptimizer::OptimizeBatch(
+    Algorithm algorithm, const std::vector<const PreparedQuery*>& queries,
+    const OptimizeOptions& options) {
+  std::vector<BatchQuery> batch;
+  batch.reserve(queries.size());
+  for (const PreparedQuery* q : queries) batch.push_back({algorithm, q});
+  return OptimizeBatch(batch, options);
+}
+
+}  // namespace parqo

@@ -1,6 +1,7 @@
 #include "optimizer/td_cmd.h"
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "optimizer/td_cmd_core.h"
 
 namespace parqo {
@@ -25,14 +26,21 @@ OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
   PlanBuilder builder(*inputs.estimator, CostModel(options.cost_params));
 
   Stopwatch watch;
-  TdCmdCore<JoinGraph> core(
+  TdCmdCore core(
       jg, builder, rules,
       /*leaf_plan=*/[&](int tp) { return builder.Scan(tp); },
       /*is_local=*/
       [&](TpSet q) { return inputs.local_index->IsLocal(q); },
       /*local_plan=*/[&](TpSet q) { return builder.LocalJoinAll(q); },
       options.timeout_seconds);
-  PlanNodePtr plan = core.Run();
+  PlanNodePtr plan;
+  if (options.num_threads > 1) {
+    ThreadPool& pool = options.thread_pool != nullptr ? *options.thread_pool
+                                                      : ThreadPool::Global();
+    plan = core.RunParallel(pool, options.num_threads);
+  } else {
+    plan = core.Run();
+  }
 
   OptimizeResult result;
   result.plan = plan;

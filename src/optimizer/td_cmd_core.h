@@ -9,16 +9,33 @@
 // local plan short-circuits the enumeration entirely.
 //
 // The core is a template over the Graph concept (JoinGraph or
-// GroupedJoinGraph) and parameterized by hooks mapping graph elements to
-// plans, which is what lets the identical code drive TD-CMD, TD-CMDP, and
-// the reduced-graph phase of HGR-TD-CMD — and, with relations instead of
-// triple patterns, relational multi-way join ordering.
+// GroupedJoinGraph) and over the three hook functors mapping graph elements
+// to plans, which is what lets the identical code drive TD-CMD, TD-CMDP,
+// and the reduced-graph phase of HGR-TD-CMD — and, with relations instead
+// of triple patterns, relational multi-way join ordering. The hooks are
+// template parameters (not std::function) so the hottest recursion makes
+// direct calls; construct with CTAD: `TdCmdCore core(graph, builder, ...)`.
+//
+// RunParallel fans the root-level cmds out to a worker pool. Workers share
+// a shard-striped memo (kMemoShards mutex-guarded maps keyed by TpSetHash)
+// so subproblem plans are reused across branches, the deadline/memo-cap
+// abort is an atomic flag probed on the sequential path's cadence, and the
+// root reduction tie-breaks equal-cost candidates by canonical enumeration
+// index — so parallel and sequential runs return plans of identical cost
+// (and shape) for every query. Racing workers may derive the same
+// subquery twice; both derive the identical plan (the recursion is a pure
+// function of the bitset given the shared, deterministic estimator), so
+// first-insert-wins keeps the memo consistent.
 
 #ifndef PARQO_OPTIMIZER_TD_CMD_CORE_H_
 #define PARQO_OPTIMIZER_TD_CMD_CORE_H_
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <functional>
+#include <limits>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -26,6 +43,7 @@
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "common/tp_set.h"
 #include "optimizer/cmd_enumerator.h"
 #include "plan/plan.h"
@@ -50,16 +68,15 @@ struct TdCmdStats {
   bool timed_out = false;
 };
 
-template <typename Graph>
+template <typename Graph, typename LeafPlanFn, typename IsLocalFn,
+          typename LocalPlanFn>
 class TdCmdCore {
  public:
   /// `leaf_plan(i)` supplies the plan of single relation i. `is_local(s)`
   /// answers whether relation set s is a local query, and `local_plan(s)`
   /// builds its one-operator local plan (|s| >= 2).
   TdCmdCore(const Graph& graph, const PlanBuilder& builder, TdCmdRules rules,
-            std::function<PlanNodePtr(int)> leaf_plan,
-            std::function<bool(TpSet)> is_local,
-            std::function<PlanNodePtr(TpSet)> local_plan,
+            LeafPlanFn leaf_plan, IsLocalFn is_local, LocalPlanFn local_plan,
             double timeout_seconds = 600.0)
       : graph_(graph),
         builder_(builder),
@@ -69,40 +86,201 @@ class TdCmdCore {
         local_plan_(std::move(local_plan)),
         timeout_seconds_(timeout_seconds) {}
 
-  /// Optimizes the full query. Returns nullptr on timeout.
+  /// Optimizes the full query single-threaded. Returns nullptr on timeout.
   PlanNodePtr Run() {
     stopwatch_.Restart();
-    aborted_ = false;
-    PlanNodePtr plan = GetBestPlan(graph_.AllTps(), /*is_local=*/false);
+    aborted_.store(false, std::memory_order_relaxed);
+    stats_ = TdCmdStats{};
+    Ctx ctx;
+    PlanNodePtr plan = GetBestPlan<false>(graph_.AllTps(), /*is_local=*/false, ctx);
+    stats_.enumerated_cmds = ctx.enumerated;
     stats_.memo_entries = memo_.size();
-    stats_.timed_out = aborted_;
-    return aborted_ ? nullptr : plan;
+    stats_.timed_out = Aborted();
+    return Aborted() ? nullptr : plan;
+  }
+
+  /// Optimizes the full query with up to `num_threads` workers drawn from
+  /// `pool` (the caller participates, so nesting inside a pool task is
+  /// safe). Falls back to Run() when num_threads <= 1. Returns a plan of
+  /// cost identical to Run()'s, or nullptr on timeout.
+  PlanNodePtr RunParallel(ThreadPool& pool, int num_threads) {
+    if (num_threads <= 1) return Run();
+    stopwatch_.Restart();
+    aborted_.store(false, std::memory_order_relaxed);
+    memo_size_.store(0, std::memory_order_relaxed);
+    stats_ = TdCmdStats{};
+
+    TpSet all = graph_.AllTps();
+    if (all.Count() == 1) return leaf_plan_(all.First());
+    bool root_local = is_local_(all);
+    if (root_local && rules_.local_short_circuit) {
+      return local_plan_(all);  // Rule 3, same as the sequential path.
+    }
+
+    // Materialize the root-level cmds in canonical enumeration order;
+    // the index into this vector is the determinism tie-breaker.
+    struct RootCmd {
+      std::vector<TpSet> parts;
+      VarId vj;
+    };
+    std::vector<RootCmd> cmds;
+    Ctx root_ctx;
+    EnumerateCmds(graph_, all, rules_.cmd_mode,
+                  [&](std::span<const TpSet> parts, VarId vj) {
+                    ++root_ctx.enumerated;
+                    if (!CheckDeadline<true>(root_ctx)) return false;
+                    cmds.emplace_back(RootCmd{
+                        std::vector<TpSet>(parts.begin(), parts.end()), vj});
+                    return true;
+                  });
+    if (Aborted()) {
+      stats_.enumerated_cmds = root_ctx.enumerated;
+      stats_.timed_out = true;
+      return nullptr;
+    }
+
+    // A candidate root operator: (cost, canonical index) orders exactly
+    // like the sequential strict-< "first cheapest wins" scan.
+    struct Candidate {
+      double cost = std::numeric_limits<double>::infinity();
+      std::int64_t index = std::numeric_limits<std::int64_t>::max();
+      PlanNodePtr plan;
+      void Offer(double c, std::int64_t i, const PlanNodePtr& p) {
+        if (c < cost || (c == cost && i < index)) {
+          cost = c;
+          index = i;
+          plan = p;
+        }
+      }
+    };
+
+    // Contiguous chunks keep per-chunk winners comparable by global index.
+    const int num_chunks = static_cast<int>(
+        std::min(cmds.size(), static_cast<std::size_t>(num_threads) * 4));
+    std::vector<Candidate> chunk_best(std::max(num_chunks, 1));
+    std::atomic<std::uint64_t> enumerated{0};
+
+    if (num_chunks > 0) {
+      pool.ParallelFor(
+          num_chunks,
+          [&](int chunk) {
+            Ctx ctx;
+            Candidate best;
+            const std::size_t lo = cmds.size() * chunk / num_chunks;
+            const std::size_t hi = cmds.size() * (chunk + 1) / num_chunks;
+            std::vector<PlanNodePtr> children;
+            for (std::size_t i = lo; i < hi; ++i) {
+              // Root cmds were counted during materialization; only probe.
+              if (!CheckDeadline<true>(ctx)) break;
+              const RootCmd& cmd = cmds[i];
+              children.clear();
+              for (TpSet part : cmd.parts) {
+                children.push_back(GetBestPlan<true>(part, root_local, ctx));
+                if (Aborted()) break;
+              }
+              if (Aborted()) break;
+              bool broadcast_ok = !rules_.binary_broadcast_only ||
+                                  cmd.parts.size() == 2;  // Rule 2
+              if (broadcast_ok) {
+                PlanNodePtr cand =
+                    builder_.Join(JoinMethod::kBroadcast, cmd.vj, children);
+                best.Offer(cand->total_cost, static_cast<std::int64_t>(2 * i),
+                           cand);
+              }
+              PlanNodePtr cand =
+                  builder_.Join(JoinMethod::kRepartition, cmd.vj, children);
+              best.Offer(cand->total_cost,
+                         static_cast<std::int64_t>(2 * i + 1), cand);
+            }
+            chunk_best[chunk] = std::move(best);
+            enumerated.fetch_add(ctx.enumerated, std::memory_order_relaxed);
+          },
+          num_threads);
+    }
+
+    Candidate best;
+    if (root_local) {
+      // Algorithm 1 line 10 seeds the scan with the local plan; index -1
+      // reproduces "cmds must be strictly cheaper to displace it".
+      PlanNodePtr local = local_plan_(all);
+      best.Offer(local->total_cost, -1, local);
+    }
+    for (Candidate& c : chunk_best) {
+      if (c.plan != nullptr) best.Offer(c.cost, c.index, c.plan);
+    }
+
+    stats_.enumerated_cmds =
+        root_ctx.enumerated + enumerated.load(std::memory_order_relaxed);
+    stats_.memo_entries = memo_size_.load(std::memory_order_relaxed);
+    stats_.timed_out = Aborted();
+    return Aborted() ? nullptr : best.plan;
   }
 
   const TdCmdStats& stats() const { return stats_; }
 
  private:
-  bool CheckDeadline() {
-    if (aborted_) return false;
-    if ((++deadline_probe_ & 0x3ff) == 0 &&
-        (stopwatch_.ElapsedSeconds() > timeout_seconds_ ||
-         memo_.size() > rules_.memo_cap)) {
-      aborted_ = true;
-      return false;
+  /// Per-worker (or per-run, sequentially) mutable state: the deadline
+  /// probe counter and the local share of the enumeration counter.
+  struct Ctx {
+    std::uint64_t probe = 0;
+    std::uint64_t enumerated = 0;
+  };
+
+  static constexpr std::size_t kMemoShards = 64;  // power of two
+
+  struct MemoShard {
+    std::mutex mu;
+    std::unordered_map<TpSet, PlanNodePtr, TpSetHash> map;
+  };
+
+  bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
+
+  template <bool kParallel>
+  bool CheckDeadline(Ctx& ctx) {
+    if (Aborted()) return false;
+    if ((++ctx.probe & 0x3ff) == 0) {
+      std::size_t memo_size =
+          kParallel ? memo_size_.load(std::memory_order_relaxed)
+                    : memo_.size();
+      if (stopwatch_.ElapsedSeconds() > timeout_seconds_ ||
+          memo_size > rules_.memo_cap) {
+        aborted_.store(true, std::memory_order_relaxed);
+        return false;
+      }
     }
     return true;
   }
 
-  PlanNodePtr GetBestPlan(TpSet q, bool is_local) {
-    auto it = memo_.find(q);
-    if (it != memo_.end()) return it->second;
-    if (!is_local) is_local = is_local_(q);
-    PlanNodePtr plan = BestPlanGen(q, is_local);
-    if (!aborted_) memo_.emplace(q, plan);
-    return plan;
+  template <bool kParallel>
+  PlanNodePtr GetBestPlan(TpSet q, bool is_local, Ctx& ctx) {
+    if constexpr (kParallel) {
+      MemoShard& shard = shards_[TpSetHash{}(q) & (kMemoShards - 1)];
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(q);
+        if (it != shard.map.end()) return it->second;
+      }
+      if (!is_local) is_local = is_local_(q);
+      PlanNodePtr plan = BestPlanGen<true>(q, is_local, ctx);
+      if (!Aborted()) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.map.emplace(q, plan).second) {
+          memo_size_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return plan;
+    } else {
+      auto it = memo_.find(q);
+      if (it != memo_.end()) return it->second;
+      if (!is_local) is_local = is_local_(q);
+      PlanNodePtr plan = BestPlanGen<false>(q, is_local, ctx);
+      if (!Aborted()) memo_.emplace(q, plan);
+      return plan;
+    }
   }
 
-  PlanNodePtr BestPlanGen(TpSet q, bool is_local) {
+  template <bool kParallel>
+  PlanNodePtr BestPlanGen(TpSet q, bool is_local, Ctx& ctx) {
     if (q.Count() == 1) return leaf_plan_(q.First());
 
     PlanNodePtr best;
@@ -115,13 +293,13 @@ class TdCmdCore {
     EnumerateCmds(
         graph_, q, rules_.cmd_mode,
         [&](std::span<const TpSet> parts, VarId vj) {
-          ++stats_.enumerated_cmds;
-          if (!CheckDeadline()) return false;
+          ++ctx.enumerated;
+          if (!CheckDeadline<kParallel>(ctx)) return false;
 
           children.clear();
           for (TpSet part : parts) {
-            children.push_back(GetBestPlan(part, is_local));
-            if (aborted_) return false;
+            children.push_back(GetBestPlan<kParallel>(part, is_local, ctx));
+            if (Aborted()) return false;
           }
           // Line 15-19: try each distributed join algorithm on this cmd.
           bool broadcast_ok =
@@ -142,16 +320,19 @@ class TdCmdCore {
   const Graph& graph_;
   const PlanBuilder& builder_;
   TdCmdRules rules_;
-  std::function<PlanNodePtr(int)> leaf_plan_;
-  std::function<bool(TpSet)> is_local_;
-  std::function<PlanNodePtr(TpSet)> local_plan_;
+  LeafPlanFn leaf_plan_;
+  IsLocalFn is_local_;
+  LocalPlanFn local_plan_;
   double timeout_seconds_;
 
   Stopwatch stopwatch_;
-  std::uint64_t deadline_probe_ = 0;
-  bool aborted_ = false;
+  std::atomic<bool> aborted_{false};
   TdCmdStats stats_;
+  /// Sequential-path memo: no locking on the hot lookup.
   std::unordered_map<TpSet, PlanNodePtr, TpSetHash> memo_;
+  /// Parallel-path memo: shard-striped, shared by all workers.
+  std::array<MemoShard, kMemoShards> shards_;
+  std::atomic<std::size_t> memo_size_{0};
 };
 
 }  // namespace parqo

@@ -14,9 +14,15 @@ CardinalityEstimator::CardinalityEstimator(const JoinGraph& jg,
 const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
     TpSet sq) const {
   PARQO_CHECK(!sq.Empty());
-  auto it = memo_.find(sq);
-  if (it != memo_.end()) return it->second;
+  Shard& shard = shards_[TpSetHash{}(sq) & (kShards - 1)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(sq);
+    if (it != shard.map.end()) return it->second;
+  }
 
+  // Derive outside the lock — the recursion below re-enters this shard
+  // table for prefixes of sq.
   Derived d;
   d.bindings.assign(jg_->num_vars(), 0.0);
 
@@ -55,7 +61,10 @@ const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
     for (double& b : d.bindings) b = std::min(b, d.cardinality);
   }
 
-  return memo_.emplace(sq, std::move(d)).first->second;
+  // A racing thread may have inserted sq meanwhile; emplace keeps the
+  // existing entry, and both derivations are identical anyway.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.emplace(sq, std::move(d)).first->second;
 }
 
 double CardinalityEstimator::Cardinality(TpSet sq) const {

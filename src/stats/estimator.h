@@ -6,10 +6,20 @@
 // in ascending triple-pattern index makes the estimate a pure function of
 // the subquery bitset, so every optimizer sees identical statistics and
 // memoized plans can be compared across algorithms.
+//
+// The memo is striped over mutex-guarded shards so concurrent enumeration
+// workers (see td_cmd_core.h) share one estimator: derived entries are
+// immutable once inserted and unordered_map never invalidates element
+// references, so a reference obtained under the shard lock stays valid
+// after it is released. Racing derivations of the same subquery compute
+// identical values (the derivation is a pure function of the bitset) and
+// the first insert wins.
 
 #ifndef PARQO_STATS_ESTIMATOR_H_
 #define PARQO_STATS_ESTIMATOR_H_
 
+#include <array>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,8 +33,11 @@ class CardinalityEstimator {
  public:
   CardinalityEstimator(const JoinGraph& jg, QueryStatistics stats);
 
+  CardinalityEstimator(const CardinalityEstimator&) = delete;
+  CardinalityEstimator& operator=(const CardinalityEstimator&) = delete;
+
   /// Estimated cardinality of the join of the subquery's patterns.
-  /// Memoized; `sq` must be non-empty.
+  /// Memoized and safe to call concurrently; `sq` must be non-empty.
   double Cardinality(TpSet sq) const;
 
   /// Estimated distinct bindings of variable v in the subquery's result.
@@ -39,11 +52,18 @@ class CardinalityEstimator {
     std::vector<double> bindings;  // per VarId; 0 when var absent
   };
 
+  static constexpr std::size_t kShards = 16;  // power of two
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<TpSet, Derived, TpSetHash> map;
+  };
+
   const Derived& Derive(TpSet sq) const;
 
   const JoinGraph* jg_;
   QueryStatistics stats_;
-  mutable std::unordered_map<TpSet, Derived, TpSetHash> memo_;
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace parqo
