@@ -1,0 +1,256 @@
+// bench_main — the canonical end-to-end sweep: optimize AND execute every
+// benchmark query (LUBM L1-L10, UniProt U1-U5) plus a WatDiv template
+// subset against generated WatDiv data, then emit one machine-readable
+// BENCH_main.json with per-query optimize time, plan cost, and measured
+// traffic, and the process-wide metrics snapshot. CI's bench-smoke step
+// and EXPERIMENTS.md's trend tracking both read this file.
+//
+//   bench_main [--quick] [--nodes=N] [--timeout=S] [--json=PATH]
+//
+// The JSON layout is documented in EXPERIMENTS.md ("BENCH_main.json").
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "exec/cluster.h"
+#include "exec/executor.h"
+#include "optimizer/prepared_query.h"
+#include "partition/hash_so.h"
+#include "sparql/parser.h"
+#include "workload/benchmark_queries.h"
+#include "workload/lubm.h"
+#include "workload/uniprot.h"
+#include "workload/watdiv.h"
+
+namespace parqo::bench {
+namespace {
+
+struct Record {
+  std::string workload;
+  std::string name;
+  double optimize_seconds = 0;
+  double plan_cost = 0;
+  double measured_cost = 0;
+  double total_work = 0;
+  std::uint64_t enumerated = 0;
+  std::uint64_t result_rows = 0;
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t rows_transferred = 0;
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t distributed_joins = 0;
+  bool timed_out = false;
+  bool executed = false;
+};
+
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string ToJson(const Record& r) {
+  std::string out = "    {";
+  out += "\"workload\": \"" + r.workload + "\", ";
+  out += "\"name\": \"" + r.name + "\", ";
+  out += "\"optimize_seconds\": " + JsonNum(r.optimize_seconds) + ", ";
+  out += "\"plan_cost\": " + JsonNum(r.plan_cost) + ", ";
+  out += "\"measured_cost\": " + JsonNum(r.measured_cost) + ", ";
+  out += "\"total_work\": " + JsonNum(r.total_work) + ", ";
+  out += "\"enumerated\": " + std::to_string(r.enumerated) + ", ";
+  out += "\"result_rows\": " + std::to_string(r.result_rows) + ", ";
+  out += "\"rows_scanned\": " + std::to_string(r.rows_scanned) + ", ";
+  out += "\"rows_transferred\": " + std::to_string(r.rows_transferred) +
+         ", ";
+  out += "\"bytes_shipped\": " + std::to_string(r.bytes_shipped) + ", ";
+  out += "\"distributed_joins\": " + std::to_string(r.distributed_joins) +
+         ", ";
+  out += std::string("\"timed_out\": ") + (r.timed_out ? "true" : "false") +
+         ", ";
+  out += std::string("\"executed\": ") + (r.executed ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+Record RunQuery(const std::string& workload, const std::string& name,
+                const ParsedQuery& parsed, const Partitioner& partitioner,
+                const RdfGraph& graph, const Cluster& cluster,
+                const Flags& flags) {
+  Record rec;
+  rec.workload = workload;
+  rec.name = name;
+
+  PreparedQuery prepared(parsed.patterns, partitioner,
+                         StatsFromData(graph));
+  OptimizeOptions options;
+  options.timeout_seconds = flags.timeout;
+  options.cost_params.num_nodes = flags.nodes;
+  OptimizeResult best =
+      Optimize(Algorithm::kTdAuto, prepared.inputs(), options);
+  rec.optimize_seconds = best.seconds;
+  rec.enumerated = best.enumerated;
+  rec.timed_out = best.timed_out;
+  if (best.plan == nullptr) return rec;
+  rec.plan_cost = best.plan->total_cost;
+
+  Executor executor(cluster, prepared.join_graph(), options.cost_params,
+                    /*parallel_nodes=*/true);
+  ExecMetrics metrics;
+  Result<BindingTable> rows = ExecuteAndProject(
+      executor, *best.plan, parsed, prepared.join_graph(), &metrics);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s/%s: execution failed: %s\n", workload.c_str(),
+                 name.c_str(), rows.status().ToString().c_str());
+    return rec;
+  }
+  rec.executed = true;
+  rec.measured_cost = metrics.measured_cost;
+  rec.total_work = metrics.total_work;
+  rec.result_rows = metrics.result_rows;
+  rec.rows_scanned = metrics.rows_scanned;
+  rec.rows_transferred = metrics.rows_transferred;
+  rec.bytes_shipped = metrics.bytes_shipped;
+  rec.distributed_joins = metrics.distributed_joins;
+  return rec;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  SetMetricsEnabled(true);
+
+  std::printf("=== bench_main: optimize + execute, all workloads ===\n\n");
+  HashSoPartitioner hash;
+  std::vector<Record> records;
+
+  {
+    LubmConfig config;
+    config.universities = flags.quick ? 7 : flags.lubm_universities;
+    RdfGraph graph = GenerateLubm(config);
+    Cluster cluster(graph, hash.PartitionData(graph, flags.nodes));
+    std::printf("LUBM: %s triples\n",
+                WithThousandsSep(graph.NumTriples()).c_str());
+    for (const BenchmarkQuery& bq : AllBenchmarkQueries()) {
+      if (!bq.lubm) continue;
+      Result<ParsedQuery> q = ParseSparql(bq.sparql);
+      PARQO_CHECK(q.ok());
+      records.push_back(
+          RunQuery("lubm", bq.name, *q, hash, graph, cluster, flags));
+    }
+  }
+
+  {
+    UniprotConfig config;
+    config.proteins = flags.quick ? 800 : flags.uniprot_proteins;
+    RdfGraph graph = GenerateUniprot(config);
+    Cluster cluster(graph, hash.PartitionData(graph, flags.nodes));
+    std::printf("UniProt: %s triples\n",
+                WithThousandsSep(graph.NumTriples()).c_str());
+    for (const BenchmarkQuery& bq : AllBenchmarkQueries()) {
+      if (bq.lubm) continue;
+      Result<ParsedQuery> q = ParseSparql(bq.sparql);
+      PARQO_CHECK(q.ok());
+      records.push_back(
+          RunQuery("uniprot", bq.name, *q, hash, graph, cluster, flags));
+    }
+  }
+
+  {
+    WatdivDataConfig config;
+    if (flags.quick) config.entities_per_class = 300;
+    RdfGraph graph = GenerateWatdivData(config);
+    Cluster cluster(graph, hash.PartitionData(graph, flags.nodes));
+    std::printf("WatDiv: %s triples\n",
+                WithThousandsSep(graph.NumTriples()).c_str());
+    Rng rng(flags.seed);
+    std::vector<WatdivTemplate> templates =
+        GenerateWatdivTemplates(flags.quick ? 20 : 124, rng);
+    // Execute a bounded subset of small templates: joins over the dense
+    // skewed data explode combinatorially for the largest walks.
+    const int kMax = flags.quick ? 5 : 10;
+    int taken = 0;
+    for (const WatdivTemplate& tmpl : templates) {
+      if (taken >= kMax) break;
+      if (tmpl.patterns.size() > 6) continue;
+      ++taken;
+      ParsedQuery parsed;
+      parsed.select_all = true;
+      parsed.patterns = tmpl.patterns;
+      records.push_back(RunQuery("watdiv", "T" + std::to_string(tmpl.id),
+                                 parsed, hash, graph, cluster, flags));
+    }
+  }
+
+  std::printf("\n");
+  PrintRow("query", {"opt time", "plan cost", "meas cost", "scanned",
+                     "shipped", "rows"});
+  PrintRule(12, 6);
+  Record totals;
+  for (const Record& r : records) {
+    char t[32];
+    std::snprintf(t, sizeof(t), "%.4fs", r.optimize_seconds);
+    PrintRow(r.workload + "/" + r.name,
+             {t, FormatCostE(r.plan_cost),
+              FormatCostE(r.measured_cost),
+              WithThousandsSep(r.rows_scanned),
+              WithThousandsSep(r.rows_transferred),
+              WithThousandsSep(r.result_rows)});
+    totals.optimize_seconds += r.optimize_seconds;
+    totals.enumerated += r.enumerated;
+    totals.rows_scanned += r.rows_scanned;
+    totals.rows_transferred += r.rows_transferred;
+    totals.bytes_shipped += r.bytes_shipped;
+    totals.result_rows += r.result_rows;
+    totals.distributed_joins += r.distributed_joins;
+    totals.total_work += r.total_work;
+    if (!r.executed) totals.timed_out = true;  // any failure flags it
+  }
+  std::printf("\n%zu queries, %.3fs total optimize time\n", records.size(),
+              totals.optimize_seconds);
+
+  std::string path = flags.json.empty() ? "BENCH_main.json" : flags.json;
+  std::string json = "{\n  \"queries\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    json += ToJson(records[i]);
+    if (i + 1 < records.size()) json += ",";
+    json += "\n";
+  }
+  json += "  ],\n  \"totals\": {";
+  json += "\"queries\": " + std::to_string(records.size()) + ", ";
+  json += "\"optimize_seconds\": " + JsonNum(totals.optimize_seconds) +
+          ", ";
+  json += "\"enumerated\": " + std::to_string(totals.enumerated) + ", ";
+  json += "\"rows_scanned\": " + std::to_string(totals.rows_scanned) + ", ";
+  json += "\"rows_transferred\": " +
+          std::to_string(totals.rows_transferred) + ", ";
+  json += "\"bytes_shipped\": " + std::to_string(totals.bytes_shipped) +
+          ", ";
+  json += "\"result_rows\": " + std::to_string(totals.result_rows) + ", ";
+  json += "\"all_executed\": ";
+  json += totals.timed_out ? "false" : "true";
+  json += "},\n  \"metrics\": ";
+  json += MetricsRegistry::Global().Snapshot().ToJson();
+  json += "\n}\n";
+
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace parqo::bench
+
+int main(int argc, char** argv) {
+  return parqo::bench::Main(argc, argv);
+}

@@ -8,6 +8,7 @@
 
 #include <functional>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "exec/binding_table.h"
 #include "optimizer/cbd_enumerator.h"
@@ -174,6 +175,42 @@ void BM_TdCmdHooksStdFunction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TdCmdHooksStdFunction)->Arg(16)->Arg(30);
+
+// Cost of one counter update with collection off vs. on. The metrics
+// contract (see common/metrics.h) is that a disabled update is a relaxed
+// load plus a predicted branch, so instrumenting hot paths is free; the
+// enabled side prices the relaxed fetch_add. Compare against
+// BM_MetricCounterBaseline (the empty loop) to read the per-update cost.
+void BM_MetricCounterBaseline(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++i);
+  }
+}
+BENCHMARK(BM_MetricCounterBaseline);
+
+void BM_MetricCounterDisabled(benchmark::State& state) {
+  SetMetricsEnabled(false);
+  MetricCounter& c =
+      MetricsRegistry::Global().counter("bench.micro.disabled");
+  for (auto _ : state) {
+    c.Add();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MetricCounterDisabled);
+
+void BM_MetricCounterEnabled(benchmark::State& state) {
+  SetMetricsEnabled(true);
+  MetricCounter& c =
+      MetricsRegistry::Global().counter("bench.micro.enabled");
+  for (auto _ : state) {
+    c.Add();
+    benchmark::DoNotOptimize(c);
+  }
+  SetMetricsEnabled(false);
+}
+BENCHMARK(BM_MetricCounterEnabled);
 
 void BM_BindingTableDeduplicate(benchmark::State& state) {
   Rng rng(9);

@@ -12,6 +12,11 @@ for b in /root/repo/build/bench/bench_table4 /root/repo/build/bench/bench_table5
   echo "(exit: $?)" >> "$out"
   echo >> "$out"
 done
+echo "############ bench_main ############" >> "$out"
+timeout 2400 /root/repo/build/bench/bench_main \
+  --json=/root/repo/BENCH_main.json >> "$out" 2>&1
+echo "(exit: $?)" >> "$out"
+echo >> "$out"
 echo "############ bench_parallel ############" >> "$out"
 timeout 2400 /root/repo/build/bench/bench_parallel --threads=1,2,4,8 \
   --json=/root/repo/BENCH_parallel.json >> "$out" 2>&1

@@ -1,0 +1,222 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace parqo {
+
+namespace metrics_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Bucket index for v: 32 + floor(log2(v)), clamped to [0, 63].
+int BucketIndex(double v) {
+  if (!(v > 0) || !std::isfinite(v)) return 0;
+  int exp = std::ilogb(v) + 32;
+  if (exp < 0) return 0;
+  if (exp >= MetricHistogram::kNumBuckets) {
+    return MetricHistogram::kNumBuckets - 1;
+  }
+  return exp;
+}
+
+void AtomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonNumber(std::string& out, double v) {
+  char buf[64];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  out += buf;
+}
+
+}  // namespace
+
+MetricHistogram::MetricHistogram()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void MetricHistogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double MetricHistogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double MetricHistogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double MetricHistogram::BucketUpperBound(int i) {
+  return std::ldexp(1.0, i - 31);
+}
+
+void MetricHistogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instruments must outlive static destructors of
+  // translation units that still flush metrics at exit.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricCounter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<MetricCounter>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricGauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<MetricGauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<MetricHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramEntry e;
+    e.name = name;
+    e.count = h->count();
+    e.sum = h->sum();
+    e.min = h->min();
+    e.max = h->max();
+    for (int i = 0; i < MetricHistogram::kNumBuckets; ++i) {
+      std::uint64_t n = h->bucket(i);
+      if (n > 0) {
+        e.buckets.emplace_back(MetricHistogram::BucketUpperBound(i), n);
+      }
+    }
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterEntry& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterEntry& c : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + c.name + "\": " + std::to_string(c.value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const GaugeEntry& g : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + g.name + "\": ";
+    AppendJsonNumber(out, g.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const HistogramEntry& h : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + h.name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": ";
+    AppendJsonNumber(out, h.sum);
+    out += ", \"min\": ";
+    AppendJsonNumber(out, h.min);
+    out += ", \"max\": ";
+    AppendJsonNumber(out, h.max);
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "[";
+      AppendJsonNumber(out, h.buckets[i].first);
+      out += ", " + std::to_string(h.buckets[i].second) + "]";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+}  // namespace parqo

@@ -22,10 +22,29 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi. Unbiased:
+  /// draws below the rejection threshold (2^64 mod range, so with
+  /// probability < range/2^64) consume another Next(). All arithmetic is
+  /// unsigned and fully standard-defined, so streams are identical across
+  /// platforms; for the small ranges the workload generators use, the
+  /// threshold is a handful of values out of 2^64 and the pinned golden
+  /// streams are unchanged (asserted by RngTest.GoldenStreamsUnchanged).
   std::int64_t Uniform(std::int64_t lo, std::int64_t hi) {
-    return lo + static_cast<std::int64_t>(
-                    Next() % static_cast<std::uint64_t>(hi - lo + 1));
+    std::uint64_t range = static_cast<std::uint64_t>(hi) -
+                          static_cast<std::uint64_t>(lo) + 1;
+    // range == 0 means [lo, hi] spans the full int64 domain (the old
+    // `Next() % range` divided by zero here): every 64-bit draw is a
+    // valid sample.
+    if (range == 0) return static_cast<std::int64_t>(Next());
+    std::uint64_t threshold = (0 - range) % range;
+    std::uint64_t z;
+    do {
+      z = Next();
+    } while (z < threshold);
+    // Unsigned add wraps correctly even when lo < 0 and the offset
+    // exceeds the signed max (e.g. hi - lo >= 2^63).
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     z % range);
   }
 
   /// Uniform double in [0, 1).

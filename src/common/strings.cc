@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace parqo {
 
@@ -67,11 +69,20 @@ std::string FormatSeconds(double seconds) {
 
 std::string FormatCostE(double cost) {
   if (cost <= 0) return "0";
-  int exp = static_cast<int>(std::floor(std::log10(cost)));
-  double mant = cost / std::pow(10.0, exp);
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.2fE%d", mant, exp);
-  return buf;
+  if (!std::isfinite(cost)) return "inf";
+  // %E rounds the mantissa and carries into the exponent in one step
+  // (999999.9 -> "1.00E+06", never "10.00E5"), and stays exact on
+  // denormals where log10/pow normalization drifts. Reformat its
+  // "d.ddE[+-]0NN" exponent into the paper's bare form ("3.12E4").
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2E", cost);
+  char* e = std::strchr(buf, 'E');
+  if (e == nullptr) return buf;  // unreachable for finite positives
+  long exp = std::strtol(e + 1, nullptr, 10);
+  char out[48];
+  std::snprintf(out, sizeof(out), "%.*sE%ld", static_cast<int>(e - buf),
+                buf, exp);
+  return out;
 }
 
 }  // namespace parqo

@@ -1,0 +1,101 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace parqo {
+namespace {
+
+// Compact per-thread id for trace rows; assigned in first-use order so
+// the viewer shows worker 1, 2, 3... rather than opaque pthread handles.
+std::uint32_t CurrentTid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+// JSON string escaping for event names (categories are static literals
+// we control, but names may carry query text).
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+std::int64_t TraceRecorder::NowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void TraceRecorder::Record(std::string name, const char* category,
+                           std::int64_t ts_us, std::int64_t dur_us) {
+  if (!enabled()) return;
+  Event e;
+  e.name = std::move(name);
+  e.category = category;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceRecorder::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\": \"";
+    AppendEscaped(out, e.name);
+    out += "\", \"cat\": \"";
+    AppendEscaped(out, e.category);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                  "\"ts\": %lld, \"dur\": %lld}",
+                  e.tid, static_cast<long long>(e.ts_us),
+                  static_cast<long long>(e.dur_us));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace parqo

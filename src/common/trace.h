@@ -1,0 +1,99 @@
+// Scoped trace spans serializing to the Chrome trace-event format
+// (load chrome://tracing or https://ui.perfetto.dev on the output of
+// TraceRecorder::ToChromeJson). Spans mark coarse phases — parse,
+// partition, optimize, one executor operator — not per-tuple work; a
+// disabled recorder (the default) makes constructing a span one relaxed
+// load and no allocation.
+//
+// Events carry a timestamp relative to the first enabled moment and the
+// recording thread's id, so the viewer lays concurrent optimizer workers
+// out on separate rows.
+
+#ifndef PARQO_COMMON_TRACE_H_
+#define PARQO_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parqo {
+
+class TraceRecorder {
+ public:
+  struct Event {
+    std::string name;
+    const char* category;  // static string
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+    std::uint32_t tid = 0;
+  };
+
+  static TraceRecorder& Global();
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one complete ("ph":"X") event. Thread-safe.
+  void Record(std::string name, const char* category, std::int64_t ts_us,
+              std::int64_t dur_us);
+
+  std::size_t NumEvents() const;
+  void Clear();
+
+  /// {"traceEvents": [...]} — the Chrome trace-event JSON envelope.
+  std::string ToChromeJson() const;
+
+  /// Microseconds since the process-wide trace epoch.
+  static std::int64_t NowMicros();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// RAII span: records [construction, destruction) on the global recorder
+/// when tracing is enabled. The name is only copied when recording.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, const char* category = "parqo")
+      : active_(TraceRecorder::Global().enabled()) {
+    if (active_) {
+      name_ = name;
+      category_ = category;
+      start_us_ = TraceRecorder::NowMicros();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (active_) {
+      TraceRecorder::Global().Record(std::move(name_), category_, start_us_,
+                                     TraceRecorder::NowMicros() - start_us_);
+    }
+  }
+
+ private:
+  bool active_;
+  std::string name_;
+  const char* category_ = "";
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_COMMON_TRACE_H_

@@ -5,8 +5,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "partition/partitioner.h"
 
 namespace parqo {
@@ -136,6 +138,21 @@ void ForEachNode(int n, bool parallel,
   ThreadPool::Global().ParallelFor(n, fn, kMaxNodeWorkers);
 }
 
+const char* SpanName(const PlanNode& node) {
+  if (node.kind == PlanNode::Kind::kScan) return "exec/scan";
+  switch (node.method) {
+    case JoinMethod::kLocal: return "exec/local_join";
+    case JoinMethod::kBroadcast: return "exec/broadcast_join";
+    case JoinMethod::kRepartition: return "exec/repartition_join";
+  }
+  return "exec/join";
+}
+
+// 8-byte TermIds; schema width is the row's wire size.
+std::uint64_t RowBytes(const std::vector<VarId>& schema) {
+  return static_cast<std::uint64_t>(schema.size()) * sizeof(TermId);
+}
+
 }  // namespace
 
 ResolvedPattern BindPattern(const TriplePattern& pattern,
@@ -189,6 +206,9 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
   m = ExecMetrics{};
 
   const int n = cluster_.num_nodes();
+  m.node_rows_scanned.assign(n, 0);
+  m.node_rows_received.assign(n, 0);
+  m.node_rows_joined.assign(n, 0);
 
   // Recursive evaluation; returns the distributed table and fills the
   // measured Eq. 3 cost of the subtree.
@@ -198,6 +218,9 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
   };
   std::function<Frame(const PlanNode&)> eval =
       [&](const PlanNode& node) -> Frame {
+    // The span covers the whole subtree; nested operator spans on the
+    // same thread render as a flame graph in the trace viewer.
+    TraceSpan span(SpanName(node), "exec");
     Frame frame;
     if (node.kind == PlanNode::Kind::kScan) {
       ResolvedPattern rp =
@@ -207,8 +230,10 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
       ForEachNode(n, parallel_nodes_, [&](int i) {
         frame.table.per_node[i] = cluster_.node(i).Scan(rp);
       });
-      for (const BindingTable& t : frame.table.per_node) {
-        m.rows_scanned += t.NumRows();
+      for (int i = 0; i < n; ++i) {
+        std::uint64_t rows = frame.table.per_node[i].NumRows();
+        m.rows_scanned += rows;
+        m.node_rows_scanned[i] += rows;
       }
       frame.cost = 0;
       return frame;
@@ -260,7 +285,15 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
             }
           }
           g.Deduplicate();
-          m.rows_transferred += g.NumRows() * static_cast<std::uint64_t>(n);
+          // One copy of the gathered input lands on every node.
+          std::uint64_t rows = g.NumRows() * static_cast<std::uint64_t>(n);
+          std::uint64_t bytes = rows * RowBytes(g.schema());
+          m.rows_transferred += rows;
+          m.bytes_shipped += bytes;
+          for (int i = 0; i < n; ++i) {
+            m.node_rows_received[i] += g.NumRows();
+          }
+          m.edges.push_back({"broadcast", rows, bytes});
           gathered.push_back(std::move(g));
         }
         ForEachNode(n, parallel_nodes_, [&](int i) {
@@ -283,13 +316,21 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
             col = in.per_node[0].ColumnOf(node.join_var);
           }
           PARQO_CHECK(col >= 0);
+          // Count at the receiving end so per-node sums reproduce the
+          // totals exactly: every routed row has one target.
+          std::uint64_t edge_rows = 0;
           for (const BindingTable& t : in.per_node) {
             for (std::size_t r = 0; r < t.NumRows(); ++r) {
               int target = HashToNode(t.At(r, col), n);
               routed[c][target].AppendRow(t.RowPtr(r));
+              ++m.node_rows_received[target];
             }
-            m.rows_transferred += t.NumRows();
+            edge_rows += t.NumRows();
           }
+          std::uint64_t edge_bytes = edge_rows * RowBytes(in.schema);
+          m.rows_transferred += edge_rows;
+          m.bytes_shipped += edge_bytes;
+          m.edges.push_back({"repartition", edge_rows, edge_bytes});
           // Replicated source rows can meet at the target; dedup there.
           for (BindingTable& t : routed[c]) t.Deduplicate();
         }
@@ -305,11 +346,15 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     }
     out.schema = out.per_node.empty() ? std::vector<VarId>{}
                                       : out.per_node[0].schema();
+    for (int i = 0; i < n; ++i) {
+      m.node_rows_joined[i] += out.per_node[i].NumRows();
+    }
 
     double output_card = static_cast<double>(out.GlobalRows());
-    frame.cost = max_child_cost +
-                 cost_model_.JoinOpCost(node.method, input_cards,
-                                        output_card);
+    double op_cost = cost_model_.JoinOpCost(node.method, input_cards,
+                                            output_card);
+    m.total_work += op_cost;
+    frame.cost = max_child_cost + op_cost;
     frame.table = std::move(out);
     return frame;
   };
@@ -327,6 +372,18 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
   result.Deduplicate();
   m.result_rows = result.NumRows();
   m.wall_seconds = watch.ElapsedSeconds();
+
+  if (MetricsEnabled()) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.counter("exec.queries").Add(1);
+    reg.counter("exec.rows_scanned").Add(m.rows_scanned);
+    reg.counter("exec.rows_transferred").Add(m.rows_transferred);
+    reg.counter("exec.bytes_shipped").Add(m.bytes_shipped);
+    reg.counter("exec.distributed_joins").Add(m.distributed_joins);
+    reg.counter("exec.result_rows").Add(m.result_rows);
+    reg.histogram("exec.wall_seconds").Observe(m.wall_seconds);
+    reg.histogram("exec.measured_cost").Observe(m.measured_cost);
+  }
   return result;
 }
 

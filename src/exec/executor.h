@@ -17,6 +17,8 @@
 #define PARQO_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "cost/cost_model.h"
@@ -39,6 +41,29 @@ struct ExecMetrics {
   std::uint64_t distributed_joins = 0;
   std::uint64_t result_rows = 0;  ///< After global deduplication.
   double wall_seconds = 0;
+
+  /// Sum of every operator's Eq. 3 cost, ignoring the max over children:
+  /// the total work. measured_cost is the critical path, so
+  /// measured_cost / total_work is the plan's inherent parallelism.
+  double total_work = 0;
+  /// rows_transferred weighted by row width (8-byte TermIds).
+  std::uint64_t bytes_shipped = 0;
+
+  /// Per-node attribution, sized to the cluster by Execute(). Each
+  /// vector's sum equals the matching scalar above exactly
+  /// (node_rows_received sums to rows_transferred).
+  std::vector<std::uint64_t> node_rows_scanned;
+  std::vector<std::uint64_t> node_rows_received;
+  std::vector<std::uint64_t> node_rows_joined;  ///< Join output rows.
+
+  /// One entry per network edge: a broadcast ships one gathered input to
+  /// every node; a repartition re-hashes one input.
+  struct EdgeTraffic {
+    std::string op;  // "broadcast" | "repartition"
+    std::uint64_t rows = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<EdgeTraffic> edges;
 };
 
 /// Resolves a pattern's constants against the dictionary and its variables

@@ -58,6 +58,12 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
   result.seconds = watch.ElapsedSeconds();
   result.enumerated = core.stats().enumerated_cmds;
   result.timed_out = core.stats().timed_out;
+  result.memo_entries = core.stats().memo_entries;
+  result.memo_hits = core.stats().memo_hits;
+  result.memo_misses = core.stats().memo_misses;
+  result.local_short_circuits = core.stats().local_short_circuits;
+  result.workers = core.stats().workers;
+  result.busy_seconds = core.stats().busy_seconds;
   return result;
 }
 

@@ -1,6 +1,8 @@
 #include "optimizer/optimizer.h"
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "optimizer/dp_bushy.h"
 #include "optimizer/hgr_td_cmd.h"
 #include "optimizer/msc.h"
@@ -8,25 +10,10 @@
 #include "optimizer/td_cmd.h"
 
 namespace parqo {
+namespace {
 
-std::string ToString(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kTdCmd: return "TD-CMD";
-    case Algorithm::kTdCmdp: return "TD-CMDP";
-    case Algorithm::kHgrTdCmd: return "HGR-TD-CMD";
-    case Algorithm::kTdAuto: return "TD-Auto";
-    case Algorithm::kMsc: return "MSC";
-    case Algorithm::kDpBushy: return "DP-Bushy";
-    case Algorithm::kBinaryDp: return "Binary-DP";
-  }
-  return "?";
-}
-
-OptimizeResult Optimize(Algorithm algorithm, const OptimizerInputs& inputs,
+OptimizeResult Dispatch(Algorithm algorithm, const OptimizerInputs& inputs,
                         const OptimizeOptions& options) {
-  PARQO_CHECK(inputs.join_graph != nullptr);
-  PARQO_CHECK(inputs.local_index != nullptr);
-  PARQO_CHECK(inputs.estimator != nullptr);
   switch (algorithm) {
     case Algorithm::kTdCmd:
       return RunTdCmd(inputs, options, /*pruned=*/false);
@@ -49,6 +36,51 @@ OptimizeResult Optimize(Algorithm algorithm, const OptimizerInputs& inputs,
     }
   }
   return OptimizeResult{};
+}
+
+/// Publishes one run's enumeration detail to the global registry so
+/// reports aggregate across queries without plumbing results around.
+void PublishMetrics(const OptimizeResult& result) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.counter("optimizer.runs").Add(1);
+  reg.counter("optimizer.cmds_enumerated").Add(result.enumerated);
+  reg.counter("optimizer.memo_entries").Add(result.memo_entries);
+  reg.counter("optimizer.memo_hits").Add(result.memo_hits);
+  reg.counter("optimizer.memo_misses").Add(result.memo_misses);
+  reg.counter("optimizer.local_short_circuits")
+      .Add(result.local_short_circuits);
+  if (result.timed_out) reg.counter("optimizer.timeouts").Add(1);
+  reg.histogram("optimizer.seconds").Observe(result.seconds);
+  if (result.workers > 1 && result.seconds > 0) {
+    reg.gauge("optimizer.worker_utilization")
+        .Set(result.busy_seconds / (result.workers * result.seconds));
+  }
+}
+
+}  // namespace
+
+std::string ToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kTdCmd: return "TD-CMD";
+    case Algorithm::kTdCmdp: return "TD-CMDP";
+    case Algorithm::kHgrTdCmd: return "HGR-TD-CMD";
+    case Algorithm::kTdAuto: return "TD-Auto";
+    case Algorithm::kMsc: return "MSC";
+    case Algorithm::kDpBushy: return "DP-Bushy";
+    case Algorithm::kBinaryDp: return "Binary-DP";
+  }
+  return "?";
+}
+
+OptimizeResult Optimize(Algorithm algorithm, const OptimizerInputs& inputs,
+                        const OptimizeOptions& options) {
+  PARQO_CHECK(inputs.join_graph != nullptr);
+  PARQO_CHECK(inputs.local_index != nullptr);
+  PARQO_CHECK(inputs.estimator != nullptr);
+  TraceSpan span("optimize/" + ToString(algorithm), "optimizer");
+  OptimizeResult result = Dispatch(algorithm, inputs, options);
+  if (MetricsEnabled()) PublishMetrics(result);
+  return result;
 }
 
 }  // namespace parqo

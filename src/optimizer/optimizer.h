@@ -88,6 +88,17 @@ struct OptimizeResult {
   /// The algorithm that actually ran (differs from the request for
   /// kTdAuto, which reports its decision-tree choice).
   Algorithm algorithm_used = Algorithm::kTdCmd;
+
+  /// TD-CMD-family enumeration detail (all zero for MSC / DP-Bushy).
+  /// memo_hits / (memo_hits + memo_misses) is the subproblem reuse rate.
+  std::uint64_t memo_entries = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t local_short_circuits = 0;  ///< Rule-3 pruned subtrees.
+  /// RunParallel fan-out detail: busy_seconds / (workers * seconds) is the
+  /// worker utilization (1 worker => busy_seconds stays 0).
+  int workers = 1;
+  double busy_seconds = 0;
 };
 
 /// Runs the requested algorithm on one query.

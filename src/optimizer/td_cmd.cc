@@ -48,6 +48,12 @@ OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
   result.enumerated = core.stats().enumerated_cmds;
   result.timed_out = core.stats().timed_out;
   result.algorithm_used = Algorithm::kTdCmd;
+  result.memo_entries = core.stats().memo_entries;
+  result.memo_hits = core.stats().memo_hits;
+  result.memo_misses = core.stats().memo_misses;
+  result.local_short_circuits = core.stats().local_short_circuits;
+  result.workers = core.stats().workers;
+  result.busy_seconds = core.stats().busy_seconds;
   return result;
 }
 

@@ -62,10 +62,26 @@ struct TdCmdRules {
   std::size_t memo_cap = std::size_t{1} << 22;
 };
 
+/// Why an enumeration run gave up (stats only; both are reported as
+/// timed_out to callers, matching the paper's single 600 s cutoff).
+enum class TdAbortCause { kNone, kTimeout, kMemoCap };
+
 struct TdCmdStats {
   std::uint64_t enumerated_cmds = 0;  ///< Table VII's search-space size.
   std::uint64_t memo_entries = 0;
+  std::uint64_t memo_hits = 0;    ///< Subproblems answered from the memo.
+  std::uint64_t memo_misses = 0;  ///< Subproblems derived fresh.
+  /// Rule-3 short circuits: local subqueries whose cmd enumeration was
+  /// skipped entirely (each one prunes a whole subtree of the search).
+  std::uint64_t local_short_circuits = 0;
   bool timed_out = false;
+  TdAbortCause abort_cause = TdAbortCause::kNone;
+  /// RunParallel only: worker count, chunk count, and the summed busy
+  /// seconds across chunk executions. busy_seconds / (workers * wall)
+  /// is the utilization of the parallel fan-out.
+  int workers = 1;
+  int chunks = 0;
+  double busy_seconds = 0;
 };
 
 template <typename Graph, typename LeafPlanFn, typename IsLocalFn,
@@ -89,13 +105,13 @@ class TdCmdCore {
   /// Optimizes the full query single-threaded. Returns nullptr on timeout.
   PlanNodePtr Run() {
     stopwatch_.Restart();
-    aborted_.store(false, std::memory_order_relaxed);
-    stats_ = TdCmdStats{};
+    ResetRunState();
     Ctx ctx;
     PlanNodePtr plan = GetBestPlan<false>(graph_.AllTps(), /*is_local=*/false, ctx);
     stats_.enumerated_cmds = ctx.enumerated;
     stats_.memo_entries = memo_.size();
-    stats_.timed_out = Aborted();
+    FlushCtx(ctx);
+    FinishStats();
     return Aborted() ? nullptr : plan;
   }
 
@@ -106,14 +122,15 @@ class TdCmdCore {
   PlanNodePtr RunParallel(ThreadPool& pool, int num_threads) {
     if (num_threads <= 1) return Run();
     stopwatch_.Restart();
-    aborted_.store(false, std::memory_order_relaxed);
+    ResetRunState();
     memo_size_.store(0, std::memory_order_relaxed);
-    stats_ = TdCmdStats{};
+    stats_.workers = num_threads;
 
     TpSet all = graph_.AllTps();
     if (all.Count() == 1) return leaf_plan_(all.First());
     bool root_local = is_local_(all);
     if (root_local && rules_.local_short_circuit) {
+      stats_.local_short_circuits = 1;
       return local_plan_(all);  // Rule 3, same as the sequential path.
     }
 
@@ -135,7 +152,8 @@ class TdCmdCore {
                   });
     if (Aborted()) {
       stats_.enumerated_cmds = root_ctx.enumerated;
-      stats_.timed_out = true;
+      FlushCtx(root_ctx);
+      FinishStats();
       return nullptr;
     }
 
@@ -164,6 +182,7 @@ class TdCmdCore {
       pool.ParallelFor(
           num_chunks,
           [&](int chunk) {
+            Stopwatch chunk_watch;
             Ctx ctx;
             Candidate best;
             const std::size_t lo = cmds.size() * chunk / num_chunks;
@@ -194,6 +213,11 @@ class TdCmdCore {
             }
             chunk_best[chunk] = std::move(best);
             enumerated.fetch_add(ctx.enumerated, std::memory_order_relaxed);
+            FlushCtx(ctx);
+            busy_us_acc_.fetch_add(
+                static_cast<std::uint64_t>(chunk_watch.ElapsedSeconds() *
+                                           1e6),
+                std::memory_order_relaxed);
           },
           num_threads);
     }
@@ -212,7 +236,9 @@ class TdCmdCore {
     stats_.enumerated_cmds =
         root_ctx.enumerated + enumerated.load(std::memory_order_relaxed);
     stats_.memo_entries = memo_size_.load(std::memory_order_relaxed);
-    stats_.timed_out = Aborted();
+    stats_.chunks = num_chunks;
+    FlushCtx(root_ctx);
+    FinishStats();
     return Aborted() ? nullptr : best.plan;
   }
 
@@ -224,6 +250,9 @@ class TdCmdCore {
   struct Ctx {
     std::uint64_t probe = 0;
     std::uint64_t enumerated = 0;
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    std::uint64_t local_sc = 0;
   };
 
   static constexpr std::size_t kMemoShards = 64;  // power of two
@@ -235,6 +264,39 @@ class TdCmdCore {
 
   bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
 
+  /// Folds a worker's (or the sequential run's) counters into the shared
+  /// accumulators. Called once per chunk/run, never on the hot path.
+  void FlushCtx(const Ctx& ctx) {
+    memo_hits_acc_.fetch_add(ctx.memo_hits, std::memory_order_relaxed);
+    memo_misses_acc_.fetch_add(ctx.memo_misses, std::memory_order_relaxed);
+    local_sc_acc_.fetch_add(ctx.local_sc, std::memory_order_relaxed);
+  }
+
+  /// Copies the accumulators and abort state into stats_ at end of run.
+  void FinishStats() {
+    stats_.memo_hits = memo_hits_acc_.load(std::memory_order_relaxed);
+    stats_.memo_misses = memo_misses_acc_.load(std::memory_order_relaxed);
+    stats_.local_short_circuits =
+        local_sc_acc_.load(std::memory_order_relaxed);
+    stats_.busy_seconds =
+        static_cast<double>(busy_us_acc_.load(std::memory_order_relaxed)) *
+        1e-6;
+    stats_.timed_out = Aborted();
+    stats_.abort_cause = static_cast<TdAbortCause>(
+        abort_cause_.load(std::memory_order_relaxed));
+  }
+
+  void ResetRunState() {
+    aborted_.store(false, std::memory_order_relaxed);
+    abort_cause_.store(static_cast<int>(TdAbortCause::kNone),
+                       std::memory_order_relaxed);
+    memo_hits_acc_.store(0, std::memory_order_relaxed);
+    memo_misses_acc_.store(0, std::memory_order_relaxed);
+    local_sc_acc_.store(0, std::memory_order_relaxed);
+    busy_us_acc_.store(0, std::memory_order_relaxed);
+    stats_ = TdCmdStats{};
+  }
+
   template <bool kParallel>
   bool CheckDeadline(Ctx& ctx) {
     if (Aborted()) return false;
@@ -242,8 +304,15 @@ class TdCmdCore {
       std::size_t memo_size =
           kParallel ? memo_size_.load(std::memory_order_relaxed)
                     : memo_.size();
-      if (stopwatch_.ElapsedSeconds() > timeout_seconds_ ||
-          memo_size > rules_.memo_cap) {
+      if (stopwatch_.ElapsedSeconds() > timeout_seconds_) {
+        abort_cause_.store(static_cast<int>(TdAbortCause::kTimeout),
+                           std::memory_order_relaxed);
+        aborted_.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      if (memo_size > rules_.memo_cap) {
+        abort_cause_.store(static_cast<int>(TdAbortCause::kMemoCap),
+                           std::memory_order_relaxed);
         aborted_.store(true, std::memory_order_relaxed);
         return false;
       }
@@ -258,8 +327,12 @@ class TdCmdCore {
       {
         std::lock_guard<std::mutex> lock(shard.mu);
         auto it = shard.map.find(q);
-        if (it != shard.map.end()) return it->second;
+        if (it != shard.map.end()) {
+          ++ctx.memo_hits;
+          return it->second;
+        }
       }
+      ++ctx.memo_misses;
       if (!is_local) is_local = is_local_(q);
       PlanNodePtr plan = BestPlanGen<true>(q, is_local, ctx);
       if (!Aborted()) {
@@ -271,7 +344,11 @@ class TdCmdCore {
       return plan;
     } else {
       auto it = memo_.find(q);
-      if (it != memo_.end()) return it->second;
+      if (it != memo_.end()) {
+        ++ctx.memo_hits;
+        return it->second;
+      }
+      ++ctx.memo_misses;
       if (!is_local) is_local = is_local_(q);
       PlanNodePtr plan = BestPlanGen<false>(q, is_local, ctx);
       if (!Aborted()) memo_.emplace(q, plan);
@@ -286,7 +363,10 @@ class TdCmdCore {
     PlanNodePtr best;
     if (is_local) {
       best = local_plan_(q);
-      if (rules_.local_short_circuit) return best;  // Rule 3
+      if (rules_.local_short_circuit) {  // Rule 3
+        ++ctx.local_sc;
+        return best;
+      }
     }
 
     std::vector<PlanNodePtr> children;
@@ -327,6 +407,11 @@ class TdCmdCore {
 
   Stopwatch stopwatch_;
   std::atomic<bool> aborted_{false};
+  std::atomic<int> abort_cause_{0};
+  std::atomic<std::uint64_t> memo_hits_acc_{0};
+  std::atomic<std::uint64_t> memo_misses_acc_{0};
+  std::atomic<std::uint64_t> local_sc_acc_{0};
+  std::atomic<std::uint64_t> busy_us_acc_{0};
   TdCmdStats stats_;
   /// Sequential-path memo: no locking on the hot lookup.
   std::unordered_map<TpSet, PlanNodePtr, TpSetHash> memo_;

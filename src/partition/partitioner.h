@@ -66,6 +66,26 @@ class Partitioner {
 /// runs (depends only on the term id).
 int HashToNode(TermId id, int n);
 
+/// Partitioning-quality summary computable from any PartitionAssignment,
+/// so methods with very different combine() phases stay comparable.
+struct PartitionAnalysis {
+  double replication_factor = 0;
+  std::uint64_t total_stored = 0;
+  /// Stored triples per node (load balance).
+  std::vector<std::uint64_t> node_stored;
+  /// RDF-graph edges whose endpoints live on different nodes, under the
+  /// primary-owner rule: a vertex's owner is the node storing the most of
+  /// its incident triples (ties break to the lowest node id). A cut edge
+  /// is one a traversal might cross the network for.
+  std::uint64_t cut_edges = 0;
+  std::uint64_t total_edges = 0;
+};
+
+/// Computes the summary and, when metrics are enabled, publishes it to
+/// the global registry as partition.* gauges.
+PartitionAnalysis AnalyzeAssignment(const RdfGraph& graph,
+                                    const PartitionAssignment& assignment);
+
 }  // namespace parqo
 
 #endif  // PARQO_PARTITION_PARTITIONER_H_

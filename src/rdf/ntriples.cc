@@ -1,5 +1,6 @@
 #include "rdf/ntriples.h"
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -97,6 +98,10 @@ Status ParseTerm(LineCursor& cur, std::size_t line_no, bool allow_literal,
            cur.line[end] != '\t') {
       ++end;
     }
+    // The terminating '.' may directly follow the label ("_:b ." and
+    // "_:b." are both legal N-Triples); a label itself never ends with
+    // '.', so strip trailing dots back off the token.
+    while (end > cur.pos + 2 && cur.line[end - 1] == '.') --end;
     if (end == cur.pos + 2) return SyntaxError(line_no, "empty blank label");
     *out = Term::Blank(
         std::string(cur.line.substr(cur.pos + 2, end - cur.pos - 2)));
@@ -126,9 +131,13 @@ Status ParseTerm(LineCursor& cur, std::size_t line_no, bool allow_literal,
     // Optional @lang or ^^<datatype>; kept verbatim in the lexical form so
     // distinct typed literals stay distinct in the dictionary.
     if (!cur.AtEnd() && cur.Peek() == '@') {
-      std::size_t end = cur.pos;
-      while (end < cur.line.size() && cur.line[end] != ' ' &&
-             cur.line[end] != '\t') {
+      // A language tag is alnum/'-' only, so stop at the first other
+      // character; in particular a directly attached terminator
+      // ("x"@en. without a space) must not be swallowed into the tag.
+      std::size_t end = cur.pos + 1;
+      while (end < cur.line.size() &&
+             (std::isalnum(static_cast<unsigned char>(cur.line[end])) ||
+              cur.line[end] == '-')) {
         ++end;
       }
       body += std::string(cur.line.substr(cur.pos, end - cur.pos));
@@ -223,11 +232,23 @@ std::string TermToNTriples(const Term& term) {
         lex = lex.substr(0, caret);
       } else {
         std::size_t at = lex.rfind('@');
-        if (at != std::string_view::npos && at + 1 < lex.size() &&
-            lex.find('"', at) == std::string_view::npos &&
-            lex.find(' ', at) == std::string_view::npos) {
-          suffix = lex.substr(at);
-          lex = lex.substr(0, at);
+        if (at != std::string_view::npos && at + 1 < lex.size()) {
+          // Only split off a *well-formed* language tag (alnum/'-'):
+          // the suffix is emitted verbatim — never re-escaped — so a
+          // body that merely contains '@' followed by arbitrary bytes
+          // (tabs, quotes, backslashes) must stay inside the escaped
+          // literal or the output would not re-parse.
+          bool tag_ok = true;
+          for (char c : lex.substr(at + 1)) {
+            if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') {
+              tag_ok = false;
+              break;
+            }
+          }
+          if (tag_ok) {
+            suffix = lex.substr(at);
+            lex = lex.substr(0, at);
+          }
         }
       }
       return "\"" + Escape(lex) + "\"" + std::string(suffix);

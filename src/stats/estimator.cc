@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace parqo {
@@ -18,7 +19,15 @@ const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(sq);
-    if (it != shard.map.end()) return it->second;
+    if (it != shard.map.end()) {
+      if (MetricsEnabled()) {
+        memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return it->second;
+    }
+  }
+  if (MetricsEnabled()) {
+    memo_misses_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Derive outside the lock — the recursion below re-enters this shard

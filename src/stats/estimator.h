@@ -19,6 +19,8 @@
 #define PARQO_STATS_ESTIMATOR_H_
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +48,16 @@ class CardinalityEstimator {
   const QueryStatistics& statistics() const { return stats_; }
   const JoinGraph& join_graph() const { return *jg_; }
 
+  /// Memo hit/miss counts across all Cardinality()/Bindings() calls.
+  /// Only collected while MetricsEnabled() (zero otherwise), so the hot
+  /// lookup stays a single branch in the default configuration.
+  std::uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memo_misses() const {
+    return memo_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Derived {
     double cardinality = 1.0;
@@ -64,6 +76,8 @@ class CardinalityEstimator {
   const JoinGraph* jg_;
   QueryStatistics stats_;
   mutable std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::uint64_t> memo_hits_{0};
+  mutable std::atomic<std::uint64_t> memo_misses_{0};
 };
 
 }  // namespace parqo

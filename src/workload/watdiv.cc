@@ -124,6 +124,32 @@ std::vector<WatdivTemplate> GenerateWatdivTemplates(int count, Rng& rng) {
   return out;
 }
 
+RdfGraph GenerateWatdivData(const WatdivDataConfig& config) {
+  Rng rng(config.seed);
+  Dictionary dict;
+  std::vector<Triple> triples;
+  auto entity = [&](int cls, std::int64_t i) {
+    return dict.Encode(
+        Term::Iri("http://db.uwaterloo.ca/watdiv/entity/" +
+                  std::string(kClasses[cls]) + std::to_string(i)));
+  };
+  for (int ei = 0; ei < kNumSchemaEdges; ++ei) {
+    const SchemaEdge& edge = kSchema[ei];
+    TermId pred = dict.Encode(Term::Iri(PredIri(edge.predicate)));
+    for (int s = 0; s < config.entities_per_class; ++s) {
+      // Degree = floor(density) + Bernoulli(fractional part).
+      int degree = static_cast<int>(config.density);
+      if (rng.Bernoulli(config.density - degree)) ++degree;
+      for (int k = 0; k < degree; ++k) {
+        std::int64_t o = rng.Skewed(config.entities_per_class);
+        triples.push_back(Triple{entity(edge.subject_class, s), pred,
+                                 entity(edge.object_class, o)});
+      }
+    }
+  }
+  return RdfGraph(std::move(dict), std::move(triples));
+}
+
 GeneratedQuery InstantiateWatdivTemplate(const WatdivTemplate& tmpl,
                                          Rng& rng) {
   GeneratedQuery out;

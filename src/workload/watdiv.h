@@ -11,9 +11,11 @@
 #ifndef PARQO_WORKLOAD_WATDIV_H_
 #define PARQO_WORKLOAD_WATDIV_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
+#include "rdf/graph.h"
 #include "workload/random_query.h"
 
 namespace parqo {
@@ -30,6 +32,24 @@ std::vector<WatdivTemplate> GenerateWatdivTemplates(int count, Rng& rng);
 /// (cardinalities in [1, 1000], bindings in [1, cardinality]).
 GeneratedQuery InstantiateWatdivTemplate(const WatdivTemplate& tmpl,
                                          Rng& rng);
+
+/// Parameters for GenerateWatdivData.
+struct WatdivDataConfig {
+  /// Entities per schema class. Template constants reference entity ids
+  /// 0..999, so the default keeps every parameterized template
+  /// satisfiable against the generated data.
+  int entities_per_class = 1000;
+  /// Average outgoing triples per (subject entity, schema edge).
+  double density = 1.5;
+  std::uint64_t seed = 7;
+};
+
+/// An executable WatDiv-style dataset over the same e-commerce schema the
+/// templates walk: entity IRIs follow the template-constant naming
+/// (".../entity/<Class><i>"), triples run along the 20 schema edges with
+/// Zipf-skewed object choice. Lets parqo_report and bench_main *execute*
+/// WatDiv queries, not just optimize them.
+RdfGraph GenerateWatdivData(const WatdivDataConfig& config);
 
 }  // namespace parqo
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cfloat>
+#include <cstdint>
+#include <limits>
+
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -46,6 +50,29 @@ TEST(StringsTest, FormatCostE) {
   EXPECT_EQ(FormatCostE(9.79e6), "9.79E6");
   EXPECT_EQ(FormatCostE(0), "0");
   EXPECT_EQ(FormatCostE(1), "1.00E0");
+}
+
+TEST(StringsTest, FormatCostEDecadeBoundaries) {
+  // Mantissa rounding must carry into the exponent: a naive
+  // log10/pow normalization rendered 999999.9 as "10.00E5".
+  EXPECT_EQ(FormatCostE(999999.9), "1.00E6");
+  EXPECT_EQ(FormatCostE(999.999), "1.00E3");
+  EXPECT_EQ(FormatCostE(9.996), "1.00E1");
+  // Just below the rounding threshold stays in the lower decade.
+  EXPECT_EQ(FormatCostE(9.994), "9.99E0");
+  EXPECT_EQ(FormatCostE(1e6), "1.00E6");
+  EXPECT_EQ(FormatCostE(0.001), "1.00E-3");
+}
+
+TEST(StringsTest, FormatCostEExtremes) {
+  // Denormals: log10-based normalization drifted here; %E is exact.
+  EXPECT_EQ(FormatCostE(5e-324), "4.94E-324");
+  EXPECT_EQ(FormatCostE(DBL_MIN), "2.23E-308");
+  EXPECT_EQ(FormatCostE(DBL_MAX), "1.80E308");
+  EXPECT_EQ(FormatCostE(std::numeric_limits<double>::infinity()), "inf");
+  // Negative and zero costs can't arise from the cost model, but the
+  // formatter must not emit garbage for them.
+  EXPECT_EQ(FormatCostE(-1.0), "0");
 }
 
 TEST(StringsTest, FormatSeconds) {
@@ -97,6 +124,74 @@ TEST(RngTest, DeterministicAndInRange) {
     EXPECT_GE(s, 0);
     EXPECT_LT(s, 100);
   }
+}
+
+TEST(RngTest, GoldenStreamsUnchanged) {
+  // Pinned streams: workload generators depend on these exact draws for
+  // cross-platform reproducibility, and the rejection-sampling rewrite
+  // of Uniform must not disturb them for in-range inputs (the rejection
+  // threshold for small ranges is a handful of values out of 2^64).
+  Rng a(2017);
+  const std::int64_t kExpectedA[] = {679, 960, 684, 238, 524, 304, 302,
+                                     611};
+  for (std::int64_t want : kExpectedA) EXPECT_EQ(a.Uniform(0, 999), want);
+  Rng b(42);
+  const std::int64_t kExpectedB[] = {4, 0, -3, -4, -3, 4, 2, -3};
+  for (std::int64_t want : kExpectedB) EXPECT_EQ(b.Uniform(-5, 5), want);
+}
+
+TEST(RngTest, UniformFullInt64Domain) {
+  // [INT64_MIN, INT64_MAX] has range 2^64, which overflowed to 0 and
+  // divided by zero before the fix. Every draw is a valid sample.
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Rng r(1);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.Uniform(kMin, kMax);
+    saw_negative |= v < 0;
+    saw_positive |= v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(RngTest, UniformHugeRanges) {
+  // Ranges near (but not at) the full domain exercise the unsigned
+  // wrap-around in lo + offset.
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.Uniform(kMin, kMax - 1);
+    EXPECT_LE(v, kMax - 1);
+    std::int64_t w = r.Uniform(kMin + 1, kMax);
+    EXPECT_GE(w, kMin + 1);
+    EXPECT_EQ(r.Uniform(kMax, kMax), kMax);
+    EXPECT_EQ(r.Uniform(kMin, kMin), kMin);
+  }
+}
+
+TEST(RngTest, UniformUnbiased) {
+  // Property test for the rejection sampler: over a range that does NOT
+  // divide 2^64 evenly, every value's frequency stays near uniform. With
+  // the old `Next() % range` the bias for range 3 is immeasurably small,
+  // so instead check a structural property: the sampler must reject draws
+  // below threshold = 2^64 mod range and still terminate, while all
+  // emitted values stay in range and all values get hit.
+  Rng r(11);
+  constexpr std::int64_t kRange = 1000003;  // prime, doesn't divide 2^64
+  std::vector<int> low_hits(10, 0);
+  for (int i = 0; i < 200000; ++i) {
+    std::int64_t v = r.Uniform(0, kRange - 1);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kRange);
+    if (v < 10) ++low_hits[v];
+  }
+  // Expected hits per bucket: 200000/1000003 = 0.2; across 10 buckets we
+  // expect ~2 total, so just assert no bucket is wildly hot (a modulo
+  // bug that folded the domain would concentrate mass).
+  for (int h : low_hits) EXPECT_LE(h, 20);
 }
 
 TEST(RngTest, SkewFavorsSmallIndexes) {

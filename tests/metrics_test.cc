@@ -1,0 +1,251 @@
+// Tests for the observability backbone: the metrics registry (counters,
+// gauges, histograms, snapshots) and the trace recorder/span machinery.
+// These run in their own binary so toggling the global enable flags
+// cannot leak into other suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace parqo {
+namespace {
+
+// Each test flips the global enable flag; restore the default afterwards
+// so test order never matters.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetMetricsEnabled(false);
+    MetricsRegistry::Global().ResetAll();
+  }
+};
+
+TEST_F(MetricsTest, FindOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  MetricCounter& a = registry.counter("x.count");
+  MetricCounter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &registry.counter("y.count"));
+  MetricGauge& g = registry.gauge("x.gauge");
+  EXPECT_EQ(&g, &registry.gauge("x.gauge"));
+  MetricHistogram& h = registry.histogram("x.hist");
+  EXPECT_EQ(&h, &registry.histogram("x.hist"));
+}
+
+TEST_F(MetricsTest, DisabledUpdatesAreDropped) {
+  MetricsRegistry registry;
+  SetMetricsEnabled(false);
+  MetricCounter& c = registry.counter("c");
+  MetricGauge& g = registry.gauge("g");
+  MetricHistogram& h = registry.histogram("h");
+  c.Add(5);
+  g.Set(3.5);
+  h.Observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  SetMetricsEnabled(true);
+  c.Add(5);
+  c.Add();  // default increment of 1
+  g.Set(3.5);
+  h.Observe(1.0);
+  EXPECT_EQ(c.value(), 6u);
+  EXPECT_EQ(g.value(), 3.5);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(MetricsTest, HistogramStats) {
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  MetricHistogram& h = registry.histogram("h");
+  // Empty histogram reports zeros, not the infinity sentinels.
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+
+  h.Observe(0.5);
+  h.Observe(2.0);
+  h.Observe(8.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+
+  // Each sample lands in exactly one bucket, and the bucket's upper
+  // bound is the first power of two at or above the sample.
+  std::uint64_t total = 0;
+  for (int i = 0; i < MetricHistogram::kNumBuckets; ++i) {
+    if (h.bucket(i) > 0) {
+      EXPECT_GE(MetricHistogram::BucketUpperBound(i), 0.5);
+    }
+    total += h.bucket(i);
+  }
+  EXPECT_EQ(total, 3u);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramExtremeSamplesStayInRange) {
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  MetricHistogram& h = registry.histogram("h");
+  // Zero and sub-2^-32 samples go to bucket 0; huge samples clamp to the
+  // last bucket instead of indexing out of bounds.
+  h.Observe(0.0);
+  h.Observe(1e-300);
+  h.Observe(1e300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.bucket(0), 2u);
+  EXPECT_GE(h.bucket(MetricHistogram::kNumBuckets - 1), 1u);
+}
+
+TEST_F(MetricsTest, SnapshotAndCounterValue) {
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  registry.counter("opt.runs").Add(3);
+  registry.gauge("part.rep").Set(1.5);
+  registry.histogram("opt.seconds").Observe(0.25);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "opt.runs");
+  EXPECT_EQ(snap.counters[0].value, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 1.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 0.25);
+  ASSERT_EQ(snap.histograms[0].buckets.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets[0].second, 1u);
+
+  EXPECT_EQ(snap.CounterValue("opt.runs"), 3u);
+  EXPECT_EQ(snap.CounterValue("no.such.counter"), 0u);
+}
+
+TEST_F(MetricsTest, SnapshotJsonIsWellFormed) {
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  registry.counter("a").Add(1);
+  registry.gauge("b").Set(2.0);
+  registry.histogram("c").Observe(4.0);
+  std::string json = registry.Snapshot().ToJson();
+  // Structural spot checks (full validation happens in CI's bench-smoke
+  // step via python's json module).
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\""), std::string::npos);
+  int braces = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    ASSERT_GE(braces, 0);
+  }
+  EXPECT_EQ(braces, 0);
+}
+
+TEST_F(MetricsTest, ResetAllZeroesButKeepsNames) {
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  MetricCounter& c = registry.counter("c");
+  c.Add(9);
+  registry.gauge("g").Set(1.0);
+  registry.histogram("h").Observe(1.0);
+  registry.ResetAll();
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 0u);
+  EXPECT_EQ(snap.gauges[0].value, 0.0);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+  // The pre-reset reference is still the live instrument.
+  c.Add(1);
+  EXPECT_EQ(registry.Snapshot().CounterValue("c"), 1u);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterUpdatesDontLoseIncrements) {
+  SetMetricsEnabled(true);
+  MetricsRegistry registry;
+  MetricCounter& c = registry.counter("c");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.SetEnabled(false);
+  rec.Clear();
+  { TraceSpan span("invisible", "test"); }
+  EXPECT_EQ(rec.NumEvents(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsOnDestruction) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(true);
+  {
+    TraceSpan span("phase/test", "test");
+    EXPECT_EQ(rec.NumEvents(), 0u);  // only complete spans are recorded
+  }
+  ASSERT_EQ(rec.NumEvents(), 1u);
+  { TraceSpan span("phase/other"); }
+  EXPECT_EQ(rec.NumEvents(), 2u);
+  rec.Clear();
+  EXPECT_EQ(rec.NumEvents(), 0u);
+}
+
+TEST_F(TraceTest, SpanStartedWhileDisabledStaysInert) {
+  // Enable state is latched at construction: a span created before
+  // SetEnabled(true) must not record a bogus zero timestamp later.
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(false);
+  {
+    TraceSpan span("latched", "test");
+    rec.SetEnabled(true);
+  }
+  EXPECT_EQ(rec.NumEvents(), 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonEnvelope) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(true);
+  rec.Record("op \"quoted\"\\", "test", 10, 5);
+  std::string json = rec.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Name must be escaped, not emitted raw.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parqo

@@ -103,6 +103,131 @@ TEST(RoundTripTest, UniprotSerializesAndReparses) {
   EXPECT_EQ(g2->NumTriples(), g.NumTriples());
 }
 
+// Serialize → parse → serialize is a fixed point, compared as line
+// multisets because dictionary ids (and thus triple order) may differ.
+void ExpectStableNTriples(const RdfGraph& g) {
+  std::string a = WriteNTriples(g);
+  auto g2 = ParseNTriplesString(a);
+  ASSERT_TRUE(g2.ok()) << g2.status().ToString() << "\n" << a;
+  std::string b = WriteNTriples(*g2);
+  std::multiset<std::string> la, lb;
+  std::size_t pos = 0;
+  std::size_t nl;
+  for (pos = 0; (nl = a.find('\n', pos)) != std::string::npos; pos = nl + 1) {
+    la.insert(a.substr(pos, nl - pos));
+  }
+  for (pos = 0; (nl = b.find('\n', pos)) != std::string::npos; pos = nl + 1) {
+    lb.insert(b.substr(pos, nl - pos));
+  }
+  EXPECT_EQ(la, lb);
+}
+
+TEST(RoundTripTest, NTriplesEscapedQuotesAndBackslashes) {
+  const char* src =
+      "<http://e/s> <http://e/p> \"say \\\"hi\\\"; a\\\\b \\t end\" .\n";
+  auto g = ParseNTriplesString(src);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->NumTriples(), 1u);
+  Term o = g->dict().Decode(g->triples()[0].o);
+  EXPECT_EQ(o.kind, TermKind::kLiteral);
+  EXPECT_EQ(o.lexical, "say \"hi\"; a\\b \t end");
+  ExpectStableNTriples(*g);
+}
+
+TEST(RoundTripTest, NTriplesLangTagsAndDatatypes) {
+  const char* src =
+      "<http://e/s> <http://e/p> \"hello\"@en .\n"
+      "<http://e/s> <http://e/p> \"bonjour\"@fr-CA .\n"
+      "<http://e/s> <http://e/p> "
+      "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  auto g = ParseNTriplesString(src);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->NumTriples(), 3u);
+  // Suffixes are kept verbatim in the lexical form so distinct typed
+  // literals stay distinct in the dictionary.
+  std::multiset<std::string> lexicals;
+  for (const Triple& t : g->triples()) {
+    lexicals.insert(g->dict().Decode(t.o).lexical);
+  }
+  EXPECT_EQ(lexicals.count("hello@en"), 1u);
+  EXPECT_EQ(lexicals.count("bonjour@fr-CA"), 1u);
+  EXPECT_EQ(
+      lexicals.count("42^^<http://www.w3.org/2001/XMLSchema#integer>"), 1u);
+  ExpectStableNTriples(*g);
+}
+
+TEST(RoundTripTest, NTriplesCrlfLineEndings) {
+  // Files written on Windows terminate lines with \r\n; the \r must not
+  // leak into the last term or trip the trailing-content check.
+  const char* src =
+      "<http://e/s> <http://e/p> <http://e/o> .\r\n"
+      "<http://e/s> <http://e/p> \"v\" .\r\n";
+  auto g = ParseNTriplesString(src);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->NumTriples(), 2u);
+  for (const Triple& t : g->triples()) {
+    std::string lex = g->dict().Decode(t.o).lexical;
+    EXPECT_EQ(lex.find('\r'), std::string::npos) << lex;
+  }
+}
+
+TEST(RoundTripTest, NTriplesCommentsAndBlankLines) {
+  const char* src =
+      "# full-line comment\n"
+      "\n"
+      "   \t\n"
+      "<http://e/s> <http://e/p> <http://e/o> . # trailing comment\n"
+      "<http://e/s> <http://e/p> \"v\" .# comment hugging the dot\n";
+  auto g = ParseNTriplesString(src);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumTriples(), 2u);
+}
+
+TEST(RoundTripTest, NTriplesTerminatorAdjacentTokens) {
+  // "x"@en. and _:b. (no space before the dot) are legal N-Triples; the
+  // dot must terminate the statement, not be swallowed into the language
+  // tag or the blank-node label.
+  const char* src =
+      "<http://e/s> <http://e/p> \"x\"@en.\n"
+      "_:a <http://e/p> _:b.\n"
+      "<http://e/s> <http://e/p> \"42\"^^<http://e/int>.\n";
+  auto g = ParseNTriplesString(src);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->NumTriples(), 3u);
+  std::multiset<std::string> lexicals;
+  for (const Triple& t : g->triples()) {
+    lexicals.insert(g->dict().Decode(t.o).lexical);
+  }
+  EXPECT_EQ(lexicals.count("x@en"), 1u);
+  EXPECT_EQ(lexicals.count("b"), 1u);  // not "b."
+  EXPECT_EQ(lexicals.count("42^^<http://e/int>"), 1u);
+  ExpectStableNTriples(*g);
+}
+
+TEST(RoundTripTest, NTriplesAtSignInLiteralBodyStaysEscaped) {
+  // The writer splits a trailing @tag off the lexical form and emits it
+  // verbatim, so it must only do that for well-formed tags: a body that
+  // merely contains '@' followed by a tab, quote, or backslash has to
+  // stay inside the escaped literal or the output would not re-parse.
+  const char* src =
+      "<http://e/s> <http://e/p> \"user@host\\tname\" .\n"
+      "<http://e/s> <http://e/p> \"a@\\\"quoted\\\"\" .\n"
+      "<http://e/s> <http://e/p> \"end@\" .\n";
+  auto g = ParseNTriplesString(src);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->NumTriples(), 3u);
+  ExpectStableNTriples(*g);
+  // A sane-looking tag suffix may be re-serialized as a tag, but the
+  // term's lexical form must survive the round trip unchanged.
+  const char* ambiguous = "<http://e/s> <http://e/p> \"user@domain-x\" .\n";
+  auto ga = ParseNTriplesString(ambiguous);
+  ASSERT_TRUE(ga.ok());
+  auto ga2 = ParseNTriplesString(WriteNTriples(*ga));
+  ASSERT_TRUE(ga2.ok());
+  EXPECT_EQ(ga2->dict().Decode(ga2->triples()[0].o).lexical,
+            "user@domain-x");
+}
+
 TEST(RoundTripTest, JsonExportPreservesCosts) {
   Rng rng(63);
   GeneratedQuery q = GenerateRandomQuery(QueryShape::kTree, 6, rng);

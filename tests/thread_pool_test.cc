@@ -1,0 +1,172 @@
+// Tests for ThreadPool's lifecycle and ParallelFor edge cases: tasks
+// submitted before destruction must all run (the destructor drains the
+// queue), and ParallelFor must handle n == 0, n == 1, max_workers > n,
+// and nesting without hanging or dropping indexes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace parqo {
+namespace {
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.size(), 1);
+  std::atomic<int> ran{0};
+  neg.Submit([&ran] { ++ran; });
+  neg.ParallelFor(4, [&ran](int) { ++ran; });
+  EXPECT_GE(ran.load(), 4);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  // Submit far more tasks than workers and destroy immediately: every
+  // queued task must still execute exactly once before join returns. A
+  // pool that discards its queue on stop loses fire-and-forget work that
+  // the batch optimizer treats as durable.
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] {
+        // Stagger a little so destruction overlaps a non-empty queue.
+        std::this_thread::yield();
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool races with the queue still mostly full.
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SubmitRacingDestructionNeverDropsPreDtorTasks) {
+  // A producer thread submits continuously while the main thread destroys
+  // the pool. Tasks enqueued before the destructor completes must run;
+  // the producer stops once it observes the pool gone. Run several rounds
+  // to give the race a chance to interleave differently.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> submitted{0};
+    std::atomic<int> ran{0};
+    std::atomic<bool> stop{false};
+    auto pool = std::make_unique<ThreadPool>(2);
+    std::thread producer([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        pool->Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stop.store(true, std::memory_order_release);
+    producer.join();  // all Submits complete before destruction starts
+    int final_submitted = submitted.load();
+    pool.reset();  // must drain everything already queued
+    EXPECT_EQ(ran.load(), final_submitted);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&calls](int) { ++calls; });
+  pool.ParallelFor(-5, [&calls](int) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executed_on;
+  pool.ParallelFor(1, [&](int i) {
+    EXPECT_EQ(i, 0);
+    executed_on = std::this_thread::get_id();
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(executed_on, caller);  // n == 1 never pays for a dispatch
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](int i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForMaxWorkersExceedingN) {
+  // max_workers larger than n (and than the pool) must neither hang nor
+  // double-run indexes: only n - 1 helper slots can ever claim work.
+  ThreadPool pool(2);
+  constexpr int kN = 8;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(
+      kN, [&hits](int i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*max_workers=*/64);
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForMaxWorkersOneIsSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  pool.ParallelFor(
+      16,
+      [&](int) {
+        int now = concurrent.fetch_add(1) + 1;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        std::this_thread::yield();
+        concurrent.fetch_sub(1);
+      },
+      /*max_workers=*/1);
+  EXPECT_EQ(peak.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Every outer item runs an inner ParallelFor on the SAME pool. With a
+  // pool smaller than the outer fan-out, progress must not depend on a
+  // free pool slot — the calling task drains inner items itself.
+  ThreadPool pool(2);
+  constexpr int kOuter = 8;
+  constexpr int kInner = 8;
+  std::atomic<int> total{0};
+  pool.ParallelFor(kOuter, [&](int) {
+    pool.ParallelFor(kInner, [&total](int) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, ParallelForFromInsideSubmittedTask) {
+  ThreadPool pool(1);  // single worker: the task itself must make progress
+  std::atomic<int> total{0};
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    pool.ParallelFor(32, [&total](int) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    done.store(true, std::memory_order_release);
+  });
+  // Bounded wait so a deadlock fails the test instead of hanging ctest.
+  for (int i = 0; i < 2000 && !done.load(std::memory_order_acquire); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(total.load(), 32);
+}
+
+}  // namespace
+}  // namespace parqo

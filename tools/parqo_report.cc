@@ -1,0 +1,397 @@
+// parqo_report — end-to-end observability report for one query: generates
+// a workload dataset, partitions it, optimizes and executes the query, and
+// prints per-phase timings, optimizer/estimator memo statistics, the
+// partitioning quality summary, and a per-node traffic table that is
+// checked against the executor's totals.
+//
+//   parqo_report [--workload=lubm|uniprot|watdiv] [--query=L1|U3]
+//                [--template=N]            (watdiv template index)
+//                [--partitioner=hash|2f|path|mincut]
+//                [--algorithm=tdauto|tdcmd|tdcmdp|hgr|msc|dpbushy|binary]
+//                [--nodes=N] [--scale=N] [--threads=N] [--explain]
+//                [--json=FILE]             (metrics snapshot JSON)
+//                [--trace=FILE]            (Chrome trace-event JSON)
+//
+// Examples:
+//   parqo_report --workload=lubm --query=L2 --partitioner=path
+//   parqo_report --workload=watdiv --template=17 --trace=trace.json
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/trace.h"
+#include "exec/cluster.h"
+#include "exec/executor.h"
+#include "optimizer/prepared_query.h"
+#include "partition/hash_so.h"
+#include "partition/min_edge_cut.h"
+#include "partition/path_bmc.h"
+#include "partition/two_hop.h"
+#include "plan/export.h"
+#include "sparql/parser.h"
+#include "workload/benchmark_queries.h"
+#include "workload/lubm.h"
+#include "workload/uniprot.h"
+#include "workload/watdiv.h"
+
+namespace {
+
+using namespace parqo;
+
+struct Options {
+  std::string workload = "lubm";
+  std::string query;  // default picked per workload
+  int template_id = 0;
+  std::string partitioner = "hash";
+  std::string algorithm = "tdauto";
+  int nodes = 10;
+  int scale = 0;  // 0 = workload default
+  int threads = 4;
+  bool explain = false;
+  std::string json_path;
+  std::string trace_path;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload=lubm|uniprot|watdiv] [--query=L1|U3]\n"
+      "          [--template=N] [--partitioner=hash|2f|path|mincut]\n"
+      "          [--algorithm=tdauto|tdcmd|tdcmdp|hgr|msc|dpbushy|binary]\n"
+      "          [--nodes=N] [--scale=N] [--threads=N] [--explain]\n"
+      "          [--json=FILE] [--trace=FILE]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&](std::string_view name) -> const char* {
+      std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) != 0) return nullptr;
+      return argv[i] + prefix.size();
+    };
+    if (const char* v = value("--workload")) {
+      opts->workload = v;
+    } else if (const char* v = value("--query")) {
+      opts->query = v;
+    } else if (const char* v = value("--template")) {
+      opts->template_id = std::atoi(v);
+    } else if (const char* v = value("--partitioner")) {
+      opts->partitioner = v;
+    } else if (const char* v = value("--algorithm")) {
+      opts->algorithm = v;
+    } else if (const char* v = value("--nodes")) {
+      opts->nodes = std::atoi(v);
+    } else if (const char* v = value("--scale")) {
+      opts->scale = std::atoi(v);
+    } else if (const char* v = value("--threads")) {
+      opts->threads = std::atoi(v);
+    } else if (arg == "--explain") {
+      opts->explain = true;
+    } else if (const char* v = value("--json")) {
+      opts->json_path = v;
+    } else if (const char* v = value("--trace")) {
+      opts->trace_path = v;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+double Pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(whole);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) return Usage(argv[0]);
+
+  std::unique_ptr<Partitioner> partitioner;
+  if (opts.partitioner == "hash") {
+    partitioner = std::make_unique<HashSoPartitioner>();
+  } else if (opts.partitioner == "2f") {
+    partitioner = std::make_unique<TwoHopForwardPartitioner>();
+  } else if (opts.partitioner == "path") {
+    partitioner = std::make_unique<PathBmcPartitioner>();
+  } else if (opts.partitioner == "mincut") {
+    partitioner = std::make_unique<MinEdgeCutPartitioner>();
+  } else {
+    return Usage(argv[0]);
+  }
+
+  Algorithm algorithm;
+  if (opts.algorithm == "tdauto") {
+    algorithm = Algorithm::kTdAuto;
+  } else if (opts.algorithm == "tdcmd") {
+    algorithm = Algorithm::kTdCmd;
+  } else if (opts.algorithm == "tdcmdp") {
+    algorithm = Algorithm::kTdCmdp;
+  } else if (opts.algorithm == "hgr") {
+    algorithm = Algorithm::kHgrTdCmd;
+  } else if (opts.algorithm == "msc") {
+    algorithm = Algorithm::kMsc;
+  } else if (opts.algorithm == "dpbushy") {
+    algorithm = Algorithm::kDpBushy;
+  } else if (opts.algorithm == "binary") {
+    algorithm = Algorithm::kBinaryDp;
+  } else {
+    return Usage(argv[0]);
+  }
+
+  SetMetricsEnabled(true);
+  TraceRecorder::Global().SetEnabled(true);
+
+  std::vector<std::pair<std::string, double>> phases;
+  auto timed = [&](const std::string& name, auto&& fn) {
+    TraceSpan span("phase/" + name, "report");
+    Stopwatch watch;
+    auto result = fn();
+    phases.emplace_back(name, watch.ElapsedSeconds());
+    return result;
+  };
+
+  // -- Phase: generate ----------------------------------------------------
+  std::string query_label;
+  std::vector<TriplePattern> patterns;
+  ParsedQuery parsed;
+  RdfGraph graph = timed("generate", [&]() -> RdfGraph {
+    if (opts.workload == "lubm" || opts.workload == "uniprot") {
+      query_label = !opts.query.empty() ? opts.query
+                    : opts.workload == "lubm" ? "L1"
+                                              : "U1";
+      const BenchmarkQuery& bq = GetBenchmarkQuery(query_label);
+      Result<ParsedQuery> q = ParseSparql(bq.sparql);
+      if (!q.ok()) {
+        std::fprintf(stderr, "error: %s\n", q.status().ToString().c_str());
+        std::exit(1);
+      }
+      parsed = *q;
+      patterns = parsed.patterns;
+      if (opts.workload == "lubm") {
+        LubmConfig config;
+        if (opts.scale > 0) config.universities = opts.scale;
+        return GenerateLubm(config);
+      }
+      UniprotConfig config;
+      if (opts.scale > 0) config.proteins = opts.scale;
+      return GenerateUniprot(config);
+    }
+    if (opts.workload == "watdiv") {
+      Rng rng(2017);
+      std::vector<WatdivTemplate> templates =
+          GenerateWatdivTemplates(124, rng);
+      int id = opts.template_id;
+      if (id < 0 || id >= static_cast<int>(templates.size())) {
+        std::fprintf(stderr, "error: --template out of range [0, %zu)\n",
+                     templates.size());
+        std::exit(2);
+      }
+      query_label = "watdiv-template-" + std::to_string(id);
+      patterns = templates[id].patterns;
+      parsed.select_all = true;
+      parsed.patterns = patterns;
+      WatdivDataConfig config;
+      if (opts.scale > 0) config.entities_per_class = opts.scale;
+      return GenerateWatdivData(config);
+    }
+    std::fprintf(stderr, "error: unknown workload '%s'\n",
+                 opts.workload.c_str());
+    std::exit(2);
+  });
+
+  std::printf("parqo_report: %s / %s on %d nodes (%s, %s, %d threads)\n",
+              opts.workload.c_str(), query_label.c_str(), opts.nodes,
+              opts.partitioner.c_str(), opts.algorithm.c_str(),
+              opts.threads);
+  std::printf("dataset: %s triples, %s vertices\n",
+              WithThousandsSep(graph.NumTriples()).c_str(),
+              WithThousandsSep(graph.vertices().size()).c_str());
+
+  // -- Phase: partition ---------------------------------------------------
+  PartitionAssignment assignment =
+      timed("partition", [&]() {
+        return partitioner->PartitionData(graph, opts.nodes);
+      });
+  PartitionAnalysis analysis = AnalyzeAssignment(graph, assignment);
+
+  // -- Phase: prepare (stats + indexes) -----------------------------------
+  auto prepared = timed("prepare", [&]() {
+    return std::make_unique<PreparedQuery>(patterns, *partitioner,
+                                           StatsFromData(graph));
+  });
+
+  // -- Phase: optimize ----------------------------------------------------
+  OptimizeOptions options;
+  options.cost_params.num_nodes = opts.nodes;
+  options.num_threads = opts.threads;
+  OptimizeResult best = timed("optimize", [&]() {
+    return Optimize(algorithm, prepared->inputs(), options);
+  });
+  if (best.plan == nullptr) {
+    std::fprintf(stderr, "optimization timed out after %.1fs\n",
+                 best.seconds);
+    return 1;
+  }
+
+  // -- Phase: execute -----------------------------------------------------
+  Cluster cluster(graph, assignment);
+  Executor executor(cluster, prepared->join_graph(), options.cost_params,
+                    /*parallel_nodes=*/opts.threads > 1);
+  ExecMetrics metrics;
+  Result<BindingTable> rows = timed("execute", [&]() {
+    return ExecuteAndProject(executor, *best.plan, parsed,
+                             prepared->join_graph(), &metrics);
+  });
+  if (!rows.ok()) {
+    std::fprintf(stderr, "error: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+
+  // -- Report -------------------------------------------------------------
+  std::printf("\n== per-phase wall time ==\n");
+  double total_phase = 0;
+  for (const auto& [name, seconds] : phases) total_phase += seconds;
+  for (const auto& [name, seconds] : phases) {
+    std::printf("  %-10s %10.4fs  %5.1f%%\n", name.c_str(), seconds,
+                total_phase > 0 ? 100.0 * seconds / total_phase : 0.0);
+  }
+
+  std::printf("\n== partitioning (%s) ==\n", partitioner->name().c_str());
+  std::printf("  stored triples     %s (replication factor %.3f)\n",
+              WithThousandsSep(analysis.total_stored).c_str(),
+              analysis.replication_factor);
+  std::printf("  cut edges          %s of %s (%.1f%%)\n",
+              WithThousandsSep(analysis.cut_edges).c_str(),
+              WithThousandsSep(analysis.total_edges).c_str(),
+              Pct(analysis.cut_edges, analysis.total_edges));
+
+  std::printf("\n== optimizer (%s) ==\n",
+              ToString(best.algorithm_used).c_str());
+  std::printf("  optimize time      %.4fs\n", best.seconds);
+  std::printf("  operators          %s enumerated\n",
+              WithThousandsSep(best.enumerated).c_str());
+  std::printf("  plan cost          %s (estimated)\n",
+              FormatCostE(best.plan->total_cost).c_str());
+  std::uint64_t lookups = best.memo_hits + best.memo_misses;
+  std::printf("  memo               %s entries, %s hits / %s lookups"
+              " (%.1f%% hit rate)\n",
+              WithThousandsSep(best.memo_entries).c_str(),
+              WithThousandsSep(best.memo_hits).c_str(),
+              WithThousandsSep(lookups).c_str(),
+              Pct(best.memo_hits, lookups));
+  std::printf("  rule-3 pruning     %s local short circuits\n",
+              WithThousandsSep(best.local_short_circuits).c_str());
+  if (best.workers > 1 && best.seconds > 0) {
+    std::printf("  workers            %d (%.0f%% utilization)\n",
+                best.workers,
+                100.0 * best.busy_seconds / (best.workers * best.seconds));
+  }
+  const CardinalityEstimator& est = prepared->estimator();
+  std::uint64_t est_lookups = est.memo_hits() + est.memo_misses();
+  std::printf("  estimator memo     %s hits / %s lookups (%.1f%% hit "
+              "rate)\n",
+              WithThousandsSep(est.memo_hits()).c_str(),
+              WithThousandsSep(est_lookups).c_str(),
+              Pct(est.memo_hits(), est_lookups));
+  if (opts.explain) {
+    std::printf("\n%s",
+                PlanToString(*best.plan, prepared->join_graph()).c_str());
+  }
+
+  std::printf("\n== execution ==\n");
+  std::printf("  result rows        %s\n",
+              WithThousandsSep(metrics.result_rows).c_str());
+  std::printf("  critical path      %.1f (measured Eq. 3 cost)\n",
+              metrics.measured_cost);
+  std::printf("  total work         %.1f (%.2fx parallelism)\n",
+              metrics.total_work,
+              metrics.measured_cost > 0
+                  ? metrics.total_work / metrics.measured_cost
+                  : 0.0);
+  std::printf("  distributed joins  %s\n",
+              WithThousandsSep(metrics.distributed_joins).c_str());
+  std::printf("  rows scanned       %s\n",
+              WithThousandsSep(metrics.rows_scanned).c_str());
+  std::printf("  rows transferred   %s (%s bytes)\n",
+              WithThousandsSep(metrics.rows_transferred).c_str(),
+              WithThousandsSep(metrics.bytes_shipped).c_str());
+  for (const ExecMetrics::EdgeTraffic& e : metrics.edges) {
+    std::printf("    edge %-12s %s rows, %s bytes\n", e.op.c_str(),
+                WithThousandsSep(e.rows).c_str(),
+                WithThousandsSep(e.bytes).c_str());
+  }
+
+  std::printf("\n== per-node traffic ==\n");
+  std::printf("  %-6s %12s %12s %12s %12s\n", "node", "stored", "scanned",
+              "received", "joined");
+  for (int i = 0; i < opts.nodes; ++i) {
+    std::printf("  %-6d %12s %12s %12s %12s\n", i,
+                WithThousandsSep(i < static_cast<int>(
+                                         analysis.node_stored.size())
+                                     ? analysis.node_stored[i]
+                                     : 0)
+                    .c_str(),
+                WithThousandsSep(metrics.node_rows_scanned[i]).c_str(),
+                WithThousandsSep(metrics.node_rows_received[i]).c_str(),
+                WithThousandsSep(metrics.node_rows_joined[i]).c_str());
+  }
+  std::uint64_t sum_scanned = std::accumulate(
+      metrics.node_rows_scanned.begin(), metrics.node_rows_scanned.end(),
+      std::uint64_t{0});
+  std::uint64_t sum_received = std::accumulate(
+      metrics.node_rows_received.begin(), metrics.node_rows_received.end(),
+      std::uint64_t{0});
+  std::printf("  %-6s %12s %12s %12s\n", "sum", "",
+              WithThousandsSep(sum_scanned).c_str(),
+              WithThousandsSep(sum_received).c_str());
+  bool sums_ok = sum_scanned == metrics.rows_scanned &&
+                 sum_received == metrics.rows_transferred;
+  std::printf("  traffic check: per-node sums %s executor totals\n",
+              sums_ok ? "match" : "DO NOT match");
+
+  if (!opts.json_path.empty()) {
+    std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+    if (!WriteFile(opts.json_path, json + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opts.json_path.c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s\n",
+                opts.json_path.c_str());
+  }
+  if (!opts.trace_path.empty()) {
+    if (!WriteFile(opts.trace_path,
+                   TraceRecorder::Global().ToChromeJson() + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opts.trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace (%zu events) written to %s — open in "
+                "chrome://tracing or ui.perfetto.dev\n",
+                TraceRecorder::Global().NumEvents(),
+                opts.trace_path.c_str());
+  }
+
+  return sums_ok ? 0 : 1;
+}
