@@ -19,23 +19,24 @@ Flags ParseFlags(int argc, char** argv) {
       }
       return argv[i] + name.size() + 1;
     };
-    if (const char* v = value("--timeout")) {
+    const char* v = nullptr;
+    if ((v = value("--timeout")) != nullptr) {
       flags.timeout = std::atof(v);
-    } else if (const char* v = value("--nodes")) {
+    } else if ((v = value("--nodes")) != nullptr) {
       flags.nodes = std::atoi(v);
-    } else if (const char* v = value("--lubm-universities")) {
+    } else if ((v = value("--lubm-universities")) != nullptr) {
       flags.lubm_universities = std::atoi(v);
-    } else if (const char* v = value("--uniprot-proteins")) {
+    } else if ((v = value("--uniprot-proteins")) != nullptr) {
       flags.uniprot_proteins = std::atoi(v);
-    } else if (const char* v = value("--watdiv-instances")) {
+    } else if ((v = value("--watdiv-instances")) != nullptr) {
       flags.watdiv_instances = std::atoi(v);
-    } else if (const char* v = value("--repeats")) {
+    } else if ((v = value("--repeats")) != nullptr) {
       flags.repeats = std::atoi(v);
-    } else if (const char* v = value("--seed")) {
+    } else if ((v = value("--seed")) != nullptr) {
       flags.seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--threads")) {
+    } else if ((v = value("--threads")) != nullptr) {
       flags.threads = v;
-    } else if (const char* v = value("--json")) {
+    } else if ((v = value("--json")) != nullptr) {
       flags.json = v;
     } else if (arg == "--quick") {
       flags.quick = true;

@@ -79,8 +79,13 @@ void Render(const PlanNode& node, const JoinGraph& jg, int indent,
             std::string* out) {
   out->append(indent * 2, ' ');
   if (node.kind == PlanNode::Kind::kScan) {
-    *out += "Scan tp" + std::to_string(node.tp) + " [" +
-            jg.pattern(node.tp).ToString() + "]";
+    // Appends, not chained operator+: GCC 12 -Wrestrict false positive
+    // (PR105651) under -O2.
+    *out += "Scan tp";
+    *out += std::to_string(node.tp);
+    *out += " [";
+    *out += jg.pattern(node.tp).ToString();
+    *out += "]";
   } else {
     *out += "Join";
     *out += MethodLetter(node.method);

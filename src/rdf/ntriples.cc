@@ -251,7 +251,13 @@ std::string TermToNTriples(const Term& term) {
           }
         }
       }
-      return "\"" + Escape(lex) + "\"" + std::string(suffix);
+      // Built by append: chained operator+ here trips GCC 12's
+      // -Wrestrict false positive (PR105651) under -O2.
+      std::string quoted = "\"";
+      quoted += Escape(lex);
+      quoted += '"';
+      quoted += suffix;
+      return quoted;
     }
   }
   return "";

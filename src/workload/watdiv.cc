@@ -56,7 +56,11 @@ std::vector<WatdivTemplate> GenerateWatdivTemplates(int count, Rng& rng) {
     std::vector<Node> nodes;
     int next_var = 0;
     auto new_node = [&](int cls) {
-      nodes.push_back(Node{"v" + std::to_string(next_var++), cls});
+      // Built by append: chained operator+ here trips GCC 12's
+      // -Wrestrict false positive (PR105651) under -O2.
+      std::string var = "v";
+      var += std::to_string(next_var++);
+      nodes.push_back(Node{std::move(var), cls});
       return static_cast<int>(nodes.size()) - 1;
     };
     new_node(static_cast<int>(rng.Uniform(0, kNumClasses - 1)));

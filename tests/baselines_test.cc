@@ -198,8 +198,9 @@ INSTANTIATE_TEST_SUITE_P(
                       OptimalityCase{QueryShape::kTree, 11, 55},
                       OptimalityCase{QueryShape::kDense, 8, 56},
                       OptimalityCase{QueryShape::kDense, 10, 57}),
-    [](const ::testing::TestParamInfo<OptimalityCase>& info) {
-      return ToString(info.param.shape) + std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<OptimalityCase>& param_info) {
+      return ToString(param_info.param.shape) +
+             std::to_string(param_info.param.n);
     });
 
 }  // namespace

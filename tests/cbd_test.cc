@@ -171,8 +171,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{QueryShape::kTree, 10, 15},
                       SweepCase{QueryShape::kDense, 8, 16},
                       SweepCase{QueryShape::kDense, 10, 17}),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      return ToString(info.param.shape) + std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return ToString(param_info.param.shape) +
+             std::to_string(param_info.param.n);
     });
 
 }  // namespace

@@ -185,8 +185,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{QueryShape::kCycle, 7, 23},
                       SweepCase{QueryShape::kTree, 8, 24},
                       SweepCase{QueryShape::kDense, 8, 25}),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      return ToString(info.param.shape) + std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return ToString(param_info.param.shape) +
+             std::to_string(param_info.param.n);
     });
 
 }  // namespace

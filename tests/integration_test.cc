@@ -30,6 +30,7 @@ namespace {
 constexpr int kNodes = 4;
 
 const RdfGraph& LubmGraph() {
+  // parqo-lint: allow(naked-new) leaked cached dataset
   static const RdfGraph& g = *new RdfGraph([] {
     LubmConfig cfg;
     cfg.universities = 2;
@@ -39,6 +40,7 @@ const RdfGraph& LubmGraph() {
 }
 
 const RdfGraph& UniprotGraph() {
+  // parqo-lint: allow(naked-new) leaked cached dataset
   static const RdfGraph& g = *new RdfGraph([] {
     UniprotConfig cfg;
     cfg.proteins = 400;
@@ -129,8 +131,8 @@ TEST_P(IntegrationTest, AllAlgorithmsAndPartitioningsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(
     Benchmark, IntegrationTest, ::testing::ValuesIn(AllBenchmarkQueries()),
-    [](const ::testing::TestParamInfo<BenchmarkQuery>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BenchmarkQuery>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(IntegrationSmokeTest, SomeQueriesHaveResults) {

@@ -109,8 +109,9 @@ INSTANTIATE_TEST_SUITE_P(
                       GenCase{QueryShape::kTree, 20},
                       GenCase{QueryShape::kDense, 8},
                       GenCase{QueryShape::kDense, 16}),
-    [](const ::testing::TestParamInfo<GenCase>& info) {
-      return ToString(info.param.shape) + std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<GenCase>& param_info) {
+      return ToString(param_info.param.shape) +
+             std::to_string(param_info.param.n);
     });
 
 }  // namespace

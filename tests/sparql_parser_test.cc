@@ -93,8 +93,8 @@ TEST_P(BenchmarkQueryParseTest, ParsesWithExpectedSize) {
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarkQueries, BenchmarkQueryParseTest,
     ::testing::ValuesIn(AllBenchmarkQueries()),
-    [](const ::testing::TestParamInfo<BenchmarkQuery>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BenchmarkQuery>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

@@ -52,6 +52,7 @@ TEST(BenchmarkQueryTest, TableThreeShapesAndSizes) {
 class QueryCoverageTest : public ::testing::TestWithParam<BenchmarkQuery> {
  protected:
   static const RdfGraph& Lubm() {
+    // parqo-lint: allow(naked-new) leaked cached dataset
     static const RdfGraph& g = *new RdfGraph([] {
       LubmConfig cfg;
       cfg.universities = 7;
@@ -60,6 +61,7 @@ class QueryCoverageTest : public ::testing::TestWithParam<BenchmarkQuery> {
     return g;
   }
   static const RdfGraph& Uniprot() {
+    // parqo-lint: allow(naked-new) leaked cached dataset
     static const RdfGraph& g = *new RdfGraph([] {
       UniprotConfig cfg;
       cfg.proteins = 1500;
@@ -95,8 +97,8 @@ TEST_P(QueryCoverageTest, EveryPatternHasMatches) {
 INSTANTIATE_TEST_SUITE_P(
     AllQueries, QueryCoverageTest,
     ::testing::ValuesIn(AllBenchmarkQueries()),
-    [](const ::testing::TestParamInfo<BenchmarkQuery>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BenchmarkQuery>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(UniprotGeneratorTest, U2ChainIsGuaranteed) {

@@ -70,19 +70,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       if (arg.rfind(prefix, 0) != 0) return nullptr;
       return argv[i] + prefix.size();
     };
-    if (const char* v = value("--data")) {
+    const char* v = nullptr;
+    if ((v = value("--data")) != nullptr) {
       opts->data_path = v;
-    } else if (const char* v = value("--query")) {
+    } else if ((v = value("--query")) != nullptr) {
       opts->query_path = v;
-    } else if (const char* v = value("--partitioner")) {
+    } else if ((v = value("--partitioner")) != nullptr) {
       opts->partitioner = v;
-    } else if (const char* v = value("--algorithm")) {
+    } else if ((v = value("--algorithm")) != nullptr) {
       opts->algorithm = v;
-    } else if (const char* v = value("--nodes")) {
+    } else if ((v = value("--nodes")) != nullptr) {
       opts->nodes = std::atoi(v);
-    } else if (const char* v = value("--timeout")) {
+    } else if ((v = value("--timeout")) != nullptr) {
       opts->timeout = std::atof(v);
-    } else if (const char* v = value("--max-rows")) {
+    } else if ((v = value("--max-rows")) != nullptr) {
       opts->max_rows = std::strtoull(v, nullptr, 10);
     } else if (arg == "--explain") {
       opts->explain = true;

@@ -79,27 +79,28 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       if (arg.rfind(prefix, 0) != 0) return nullptr;
       return argv[i] + prefix.size();
     };
-    if (const char* v = value("--workload")) {
+    const char* v = nullptr;
+    if ((v = value("--workload")) != nullptr) {
       opts->workload = v;
-    } else if (const char* v = value("--query")) {
+    } else if ((v = value("--query")) != nullptr) {
       opts->query = v;
-    } else if (const char* v = value("--template")) {
+    } else if ((v = value("--template")) != nullptr) {
       opts->template_id = std::atoi(v);
-    } else if (const char* v = value("--partitioner")) {
+    } else if ((v = value("--partitioner")) != nullptr) {
       opts->partitioner = v;
-    } else if (const char* v = value("--algorithm")) {
+    } else if ((v = value("--algorithm")) != nullptr) {
       opts->algorithm = v;
-    } else if (const char* v = value("--nodes")) {
+    } else if ((v = value("--nodes")) != nullptr) {
       opts->nodes = std::atoi(v);
-    } else if (const char* v = value("--scale")) {
+    } else if ((v = value("--scale")) != nullptr) {
       opts->scale = std::atoi(v);
-    } else if (const char* v = value("--threads")) {
+    } else if ((v = value("--threads")) != nullptr) {
       opts->threads = std::atoi(v);
     } else if (arg == "--explain") {
       opts->explain = true;
-    } else if (const char* v = value("--json")) {
+    } else if ((v = value("--json")) != nullptr) {
       opts->json_path = v;
-    } else if (const char* v = value("--trace")) {
+    } else if ((v = value("--trace")) != nullptr) {
       opts->trace_path = v;
     } else {
       return false;
