@@ -1,0 +1,89 @@
+// Invariant-checking macros. Library code does not throw; internal
+// invariant violations abort with a file:line message so a violated
+// optimizer contract (a disconnected memo entry, a mis-costed plan) can
+// never silently produce a wrong plan.
+//
+//   PARQO_CHECK(expr)     - always on, in every build type. Use for cheap
+//                           contracts on public entry points and for
+//                           "this must hold or the result is garbage".
+//   PARQO_CHECK_OK(st)    - PARQO_CHECK for Status values; prints the
+//                           status message on failure.
+//   PARQO_DCHECK(expr)    - debug-build validation. Compiled out (operands
+//                           unevaluated) in NDEBUG builds unless the build
+//                           sets -DPARQO_VALIDATE (cmake -DPARQO_VALIDATE=ON).
+//                           Use freely on hot paths: the enumerators check
+//                           the Lemma 1-2 division contract per emitted
+//                           division under this macro.
+//
+// PARQO_DCHECK_ENABLED is 1 when PARQO_DCHECK is live, so tests (and the
+// rare expensive validator block) can mirror the compile-out behavior:
+//
+//   #if PARQO_DCHECK_ENABLED
+//     ... build the cross-check structure ...
+//   #endif
+
+#ifndef PARQO_COMMON_CHECK_H_
+#define PARQO_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parqo {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "PARQO_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckFailedWithMessage(const char* file, int line,
+                                                const char* expr,
+                                                const char* message) {
+  std::fprintf(stderr, "PARQO_CHECK failed at %s:%d: %s: %s\n", file, line,
+               expr, message);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace parqo
+
+#define PARQO_CHECK(expr)                                                    \
+  do {                                                                       \
+    if (!(expr)) ::parqo::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+  } while (false)
+
+/// Checks that a parqo::Status (or any value with ok() / message()) is OK.
+#define PARQO_CHECK_OK(expr)                                                 \
+  do {                                                                       \
+    auto _parqo_check_st = (expr);                                           \
+    if (!_parqo_check_st.ok()) {                                             \
+      ::parqo::internal::CheckFailedWithMessage(                             \
+          __FILE__, __LINE__, #expr, _parqo_check_st.message().c_str());     \
+    }                                                                        \
+  } while (false)
+
+#if !defined(PARQO_DCHECK_ENABLED)
+#if defined(PARQO_VALIDATE) || !defined(NDEBUG)
+#define PARQO_DCHECK_ENABLED 1
+#else
+#define PARQO_DCHECK_ENABLED 0
+#endif
+#endif
+
+#if PARQO_DCHECK_ENABLED
+#define PARQO_DCHECK(expr) PARQO_CHECK(expr)
+#define PARQO_DCHECK_OK(expr) PARQO_CHECK_OK(expr)
+#else
+// Operands are parsed (so they cannot rot) but never evaluated.
+#define PARQO_DCHECK(expr)           \
+  do {                               \
+    (void)sizeof(!(expr));           \
+  } while (false)
+#define PARQO_DCHECK_OK(expr)        \
+  do {                               \
+    (void)sizeof((expr).ok());       \
+  } while (false)
+#endif
+
+#endif  // PARQO_COMMON_CHECK_H_

@@ -5,11 +5,11 @@
 #ifndef PARQO_COMMON_STATUS_H_
 #define PARQO_COMMON_STATUS_H_
 
-#include <cstdio>
-#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace parqo {
 
@@ -83,19 +83,6 @@ class Result {
   std::optional<T> value_;
   Status status_;
 };
-
-namespace internal {
-[[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* expr) {
-  std::fprintf(stderr, "PARQO_CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::abort();
-}
-}  // namespace internal
-
-#define PARQO_CHECK(expr)                                        \
-  do {                                                           \
-    if (!(expr)) ::parqo::internal::CheckFailed(__FILE__, __LINE__, #expr); \
-  } while (false)
 
 #define PARQO_RETURN_IF_ERROR(expr)            \
   do {                                         \

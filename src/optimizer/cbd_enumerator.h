@@ -25,6 +25,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/tp_set.h"
 #include "query/join_graph.h"
 
@@ -59,6 +60,12 @@ bool EnumerateCbds(const Graph& graph, TpSet q, VarId vj, EmitFn&& emit) {
       // Line 3: a full or tainted extension yields no further cbds.
       if (sq == q || sq.Intersects(excluded)) return true;
       if (!sq.Empty()) {
+        // Definition 3 (k = 2) contract, per Lemmas 1-2: both sides
+        // connected and both incident to v_j. Debug-build only.
+        PARQO_DCHECK(graph.IsConnected(sq));
+        PARQO_DCHECK(graph.IsConnected(q - sq));
+        PARQO_DCHECK(sq.Intersects(neighbors));
+        PARQO_DCHECK((q - sq).Intersects(neighbors));
         if (!emit(sq, q - sq)) return false;  // line 5: emit one cbd
       }
 

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/tp_set.h"
 #include "optimizer/cbd_enumerator.h"
 #include "query/join_graph.h"
@@ -44,11 +45,26 @@ bool EnumerateCmdsOnVar(const Graph& graph, TpSet q, VarId vj, CmdMode mode,
                         EmitFn&& emit) {
   struct Context {
     const Graph& graph;
+    TpSet q;  // the divided (sub)query, for the debug division contract
     VarId vj;
     CmdMode mode;
     EmitFn& emit;
     std::vector<TpSet> stack;
     bool stack_complete = true;  // all stacked parts have exactly 1 neighbor
+
+    /// Definition 3 contract of every emitted division, checked in debug
+    /// builds: k >= 2 non-empty connected blocks, pairwise disjoint,
+    /// covering q, each incident to v_j.
+    bool DivisionContractHolds() const {
+      TpSet seen;
+      for (TpSet part : stack) {
+        if (part.Empty() || part.Intersects(seen)) return false;
+        if (!graph.IsConnected(part)) return false;
+        if (graph.Degree(vj, part) == 0) return false;
+        seen |= part;
+      }
+      return seen == q && stack.size() >= 2;
+    }
 
     bool Recurse(TpSet sql) {
       if (!stack.empty()) {
@@ -61,6 +77,7 @@ bool EnumerateCmdsOnVar(const Graph& graph, TpSet q, VarId vj, CmdMode mode,
         }
         if (do_emit) {
           stack.push_back(sql);
+          PARQO_DCHECK(DivisionContractHolds());
           bool keep_going = emit(std::span<const TpSet>(stack), vj);
           stack.pop_back();
           if (!keep_going) return false;
@@ -90,7 +107,7 @@ bool EnumerateCmdsOnVar(const Graph& graph, TpSet q, VarId vj, CmdMode mode,
     }
   };
 
-  Context ctx{graph, vj, mode, emit, {}, true};
+  Context ctx{graph, q, vj, mode, emit, {}, true};
   return ctx.Recurse(q);
 }
 

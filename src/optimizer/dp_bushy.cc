@@ -3,7 +3,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
+#include "optimizer/plan_validator.h"
 
 namespace parqo {
 namespace {
@@ -11,14 +13,27 @@ namespace {
 class DpBushy {
  public:
   DpBushy(const OptimizerInputs& inputs, const OptimizeOptions& options)
-      : jg_(*inputs.join_graph),
+      : inputs_(inputs),
+        jg_(*inputs.join_graph),
         local_index_(*inputs.local_index),
         builder_(*inputs.estimator, CostModel(options.cost_params)),
-        timeout_seconds_(options.timeout_seconds) {}
+        timeout_seconds_(options.timeout_seconds),
+        validate_(options.validate) {}
 
   OptimizeResult Run() {
     Stopwatch watch;
     PlanNodePtr plan = BestPlan(jg_.AllTps());
+    if (validate_ && !aborted_ && plan != nullptr) {
+      // Same memo contract as the TD-CMD family: only connected,
+      // correctly costed subplans keyed by exactly their pattern set.
+      PlanValidator validator(jg_, &local_index_, inputs_.estimator,
+                              &builder_.cost_model());
+      // parqo-lint: allow(unordered-iteration) order-independent sweep
+      for (const auto& [q, entry] : memo_) {
+        PARQO_CHECK(entry != nullptr);
+        PARQO_CHECK_OK(validator.ValidateMemoEntry(q, *entry));
+      }
+    }
     OptimizeResult result;
     result.plan = aborted_ ? nullptr : plan;
     result.seconds = watch.ElapsedSeconds();
@@ -137,10 +152,12 @@ class DpBushy {
     return best;
   }
 
+  const OptimizerInputs& inputs_;
   const JoinGraph& jg_;
   const LocalQueryIndex& local_index_;
   PlanBuilder builder_;
   double timeout_seconds_;
+  bool validate_ = false;
 
   Stopwatch stopwatch_;
   std::uint64_t probe_ = 0;

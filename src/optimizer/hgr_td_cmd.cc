@@ -1,9 +1,11 @@
 #include "optimizer/hgr_td_cmd.h"
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "optimizer/grouped_graph.h"
 #include "optimizer/join_graph_reduction.h"
+#include "optimizer/plan_validator.h"
 #include "optimizer/td_cmd_core.h"
 
 namespace parqo {
@@ -34,8 +36,10 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
   }
 
   GroupedJoinGraph grouped(jg, jgr.groups);
+  TdCmdRules rules;  // plain TD-CMD on the reduced graph
+  rules.validate = options.validate;
   TdCmdCore core(
-      grouped, builder, TdCmdRules{},  // plain TD-CMD on the reduced graph
+      grouped, builder, rules,
       /*leaf_plan=*/
       [&](int rel) { return group_leaf(grouped.GroupTps(rel)); },
       /*is_local=*/
@@ -55,6 +59,19 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
   } else {
     result.plan = core.Run();
   }
+
+  if (options.validate && result.plan != nullptr) {
+    // Memo keys live in group space; the stored plans cover base
+    // patterns, so expand each key before checking the entry.
+    PlanValidator validator(jg, inputs.local_index, inputs.estimator,
+                            &builder.cost_model());
+    core.ForEachMemoEntry([&](TpSet rels, const PlanNodePtr& entry) {
+      PARQO_CHECK(entry != nullptr);
+      PARQO_CHECK_OK(
+          validator.ValidateMemoEntry(grouped.ExpandTps(rels), *entry));
+    });
+  }
+
   result.seconds = watch.ElapsedSeconds();
   result.enumerated = core.stats().enumerated_cmds;
   result.timed_out = core.stats().timed_out;

@@ -3,6 +3,8 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "cost/cost_model.h"
+#include "optimizer/plan_validator.h"
 #include "optimizer/dp_bushy.h"
 #include "optimizer/hgr_td_cmd.h"
 #include "optimizer/msc.h"
@@ -79,6 +81,15 @@ OptimizeResult Optimize(Algorithm algorithm, const OptimizerInputs& inputs,
   PARQO_CHECK(inputs.estimator != nullptr);
   TraceSpan span("optimize/" + ToString(algorithm), "optimizer");
   OptimizeResult result = Dispatch(algorithm, inputs, options);
+  if (options.validate && result.plan != nullptr) {
+    // Algorithm-specific wiring already validated divisions and memo
+    // state mid-run; this is the uniform final gate every algorithm
+    // (including MSC and TD-Auto's delegate) passes through.
+    CostModel cost_model(options.cost_params);
+    PlanValidator validator(*inputs.join_graph, inputs.local_index,
+                            inputs.estimator, &cost_model);
+    PARQO_CHECK_OK(validator.ValidatePlan(*result.plan));
+  }
   if (MetricsEnabled()) PublishMetrics(result);
   return result;
 }

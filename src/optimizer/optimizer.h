@@ -65,6 +65,14 @@ struct OptimizeOptions {
   int num_threads = 1;
   ThreadPool* thread_pool = nullptr;
 
+  /// Runs the structural/cost invariant validator (plan_validator.h) over
+  /// the produced plan, every memo entry, and every enumerated division.
+  /// Any violation aborts via PARQO_CHECK — a wrong plan must never
+  /// escape silently. Works in all build types (independent of
+  /// PARQO_DCHECK); costs roughly a constant factor on enumeration, so
+  /// it is for tests, canaries, and debugging, not the serving path.
+  bool validate = false;
+
   /// TD-Auto thresholds (Figure 5; Section IV-C reports the values used
   /// in the paper's experiments).
   int theta_d = 5;    ///< max join-variable degree for plain TD-CMD.

@@ -1,0 +1,222 @@
+#include "optimizer/plan_validator.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace parqo {
+namespace {
+
+/// Partition property of an intermediate result (Section II-D). Base means
+/// "partitioned like the stored data" (subject-hash co-location); hashed
+/// means "hash-partitioned on one join variable" as established by a
+/// repartition operator.
+struct PartitionProperty {
+  enum class Kind { kBase, kHashed } kind = Kind::kBase;
+  VarId var = kInvalidVarId;  ///< The hash variable when kind == kHashed.
+};
+
+Status Fail(const std::string& what, const PlanNode& node) {
+  return Status::Internal("invalid plan: " + what + " at node covering " +
+                          node.tps.ToString());
+}
+
+bool FiniteNonNegative(double x) { return std::isfinite(x) && x >= 0; }
+
+class Checker {
+ public:
+  Checker(const JoinGraph& jg, const LocalQueryIndex* local_index,
+          const CardinalityEstimator* estimator, const CostModel* cost_model)
+      : jg_(jg),
+        local_index_(local_index),
+        estimator_(estimator),
+        cost_model_(cost_model) {}
+
+  Status Validate(const PlanNode& node, PartitionProperty* prop_out) {
+    if (node.kind == PlanNode::Kind::kScan) {
+      return ValidateScan(node, prop_out);
+    }
+    return ValidateJoin(node, prop_out);
+  }
+
+ private:
+  Status ValidateScan(const PlanNode& node, PartitionProperty* prop_out) {
+    if (node.tp < 0 || node.tp >= jg_.num_tps()) {
+      return Fail("scan of nonexistent pattern", node);
+    }
+    if (node.tps != TpSet::Singleton(node.tp)) {
+      return Fail("scan tps mismatch", node);
+    }
+    if (!node.children.empty()) return Fail("scan with children", node);
+    if (!FiniteNonNegative(node.cardinality)) {
+      return Fail("scan cardinality not finite and non-negative", node);
+    }
+    if (node.op_cost != 0 || node.total_cost != 0) {
+      return Fail("scan with nonzero cost", node);
+    }
+    if (estimator_ != nullptr &&
+        node.cardinality != estimator_->Cardinality(node.tps)) {
+      return Fail("scan cardinality differs from the estimator's", node);
+    }
+    // Stored triples are in the data partitioning.
+    *prop_out = PartitionProperty{PartitionProperty::Kind::kBase,
+                                  kInvalidVarId};
+    return Status::Ok();
+  }
+
+  Status ValidateJoin(const PlanNode& node, PartitionProperty* prop_out) {
+    if (node.children.size() < 2) {
+      return Fail("join with fewer than 2 inputs", node);
+    }
+
+    // Division blocks: pairwise disjoint, cover the parent, connected.
+    TpSet seen;
+    for (const PlanNodePtr& c : node.children) {
+      if (c == nullptr) return Fail("null child", node);
+      if (c->tps.Empty()) return Fail("child covering no patterns", node);
+      if (c->tps.Intersects(seen)) return Fail("children overlap", node);
+      seen |= c->tps;
+    }
+    if (seen != node.tps) return Fail("children do not cover node", node);
+    if (!jg_.IsConnected(node.tps)) {
+      return Fail("disconnected subquery (Cartesian product)", node);
+    }
+
+    // Children first: their partition properties feed this operator's
+    // legality check, and their costs feed the Eq. 3 recomputation.
+    std::vector<PartitionProperty> child_props(node.children.size());
+    double max_child_total = 0;
+    std::vector<double> input_cards;
+    input_cards.reserve(node.children.size());
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      const PlanNode& c = *node.children[i];
+      PARQO_RETURN_IF_ERROR(Validate(c, &child_props[i]));
+      max_child_total = std::max(max_child_total, c.total_cost);
+      input_cards.push_back(c.cardinality);
+    }
+
+    PARQO_RETURN_IF_ERROR(ValidateMethod(node, child_props, prop_out));
+
+    if (!FiniteNonNegative(node.cardinality)) {
+      return Fail("cardinality not finite and non-negative", node);
+    }
+    if (!FiniteNonNegative(node.op_cost) ||
+        !FiniteNonNegative(node.total_cost)) {
+      return Fail("cost not finite and non-negative", node);
+    }
+    if (node.total_cost < node.op_cost ||
+        node.total_cost < max_child_total) {
+      return Fail("total cost below operator or child cost (Eq. 3)", node);
+    }
+    if (estimator_ != nullptr &&
+        node.cardinality != estimator_->Cardinality(node.tps)) {
+      return Fail("cardinality differs from the estimator's", node);
+    }
+    if (cost_model_ != nullptr) {
+      double op = cost_model_->JoinOpCost(node.method, input_cards,
+                                          node.cardinality);
+      if (node.op_cost != op) {
+        return Fail("operator cost differs from the Eq. 4 recomputation",
+                    node);
+      }
+      if (node.total_cost != max_child_total + node.op_cost) {
+        return Fail("total cost differs from the Eq. 3 recomputation", node);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ValidateMethod(const PlanNode& node,
+                        const std::vector<PartitionProperty>& child_props,
+                        PartitionProperty* prop_out) {
+    switch (node.method) {
+      case JoinMethod::kLocal: {
+        if (node.join_var != kInvalidVarId) {
+          return Fail("local join with a join variable", node);
+        }
+        if (local_index_ != nullptr && !local_index_->IsLocal(node.tps)) {
+          return Fail("local join of a non-local subquery", node);
+        }
+        // A local join needs its inputs co-located with the stored data;
+        // an input that a repartition operator re-hashed is not (II-D).
+        for (const PartitionProperty& p : child_props) {
+          if (p.kind != PartitionProperty::Kind::kBase) {
+            return Fail("local join over a re-partitioned input "
+                        "(illegal partition-property claim)",
+                        node);
+          }
+        }
+        *prop_out = PartitionProperty{PartitionProperty::Kind::kBase,
+                                      kInvalidVarId};
+        return Status::Ok();
+      }
+      case JoinMethod::kBroadcast:
+      case JoinMethod::kRepartition: {
+        if (node.join_var == kInvalidVarId) {
+          return Fail("distributed join without a join variable", node);
+        }
+        TpSet ntp = jg_.Ntp(node.join_var);
+        for (const PlanNodePtr& c : node.children) {
+          if (!c->tps.Intersects(ntp)) {
+            return Fail("child does not contain the join variable "
+                        "(Definition 3 condition 3)",
+                        node);
+          }
+        }
+        if (node.method == JoinMethod::kBroadcast) {
+          // The k-1 smaller inputs ship to the largest input's nodes, so
+          // the result inherits the largest input's partitioning.
+          std::size_t largest = 0;
+          for (std::size_t i = 1; i < node.children.size(); ++i) {
+            if (node.children[i]->cardinality >
+                node.children[largest]->cardinality) {
+              largest = i;
+            }
+          }
+          *prop_out = child_props[largest];
+        } else {
+          *prop_out = PartitionProperty{PartitionProperty::Kind::kHashed,
+                                        node.join_var};
+        }
+        return Status::Ok();
+      }
+    }
+    return Fail("unknown join method", node);
+  }
+
+  const JoinGraph& jg_;
+  const LocalQueryIndex* local_index_;
+  const CardinalityEstimator* estimator_;
+  const CostModel* cost_model_;
+};
+
+}  // namespace
+
+Status PlanValidator::ValidateSubplan(const PlanNode& plan) const {
+  PartitionProperty prop;
+  return Checker(*jg_, local_index_, estimator_, cost_model_)
+      .Validate(plan, &prop);
+}
+
+Status PlanValidator::ValidatePlan(const PlanNode& plan) const {
+  if (plan.tps != jg_->AllTps()) {
+    return Status::Internal("plan does not cover the whole query: " +
+                            plan.tps.ToString());
+  }
+  return ValidateSubplan(plan);
+}
+
+Status PlanValidator::ValidateMemoEntry(TpSet key_tps,
+                                        const PlanNode& plan) const {
+  if (plan.tps != key_tps) {
+    return Status::Internal("memo entry keyed by " + key_tps.ToString() +
+                            " stores a plan covering " + plan.tps.ToString());
+  }
+  if (!jg_->IsConnected(key_tps)) {
+    return Status::Internal("memo polluted by disconnected subquery " +
+                            key_tps.ToString());
+  }
+  return ValidateSubplan(plan);
+}
+
+}  // namespace parqo

@@ -1,0 +1,122 @@
+// Machine-checkable definition of a "correct plan" and a "correct memo".
+//
+// The paper's optimality argument (Section III, Lemmas 1-2, Theorems 1-2)
+// rests on structural invariants that nothing in the type system enforces:
+// every enumerated subquery is connected, every k-ary division partitions
+// its parent, partition properties flow legally through local / broadcast /
+// repartition operators (Section II-D), and every cost is the deterministic
+// Eq. 3/4 value of its subtree. PlanValidator re-derives all of it from
+// scratch and reports the first violation; the optimizers run it behind
+// OptimizeOptions::validate, and tests/validator_test runs the full
+// LUBM/UniProt workloads under it.
+//
+// This deliberately re-implements the checks instead of trusting
+// PlanBuilder: a validator that calls the code under test validates
+// nothing.
+
+#ifndef PARQO_OPTIMIZER_PLAN_VALIDATOR_H_
+#define PARQO_OPTIMIZER_PLAN_VALIDATOR_H_
+
+#include <span>
+
+#include "common/status.h"
+#include "common/tp_set.h"
+#include "cost/cost_model.h"
+#include "partition/local_query_index.h"
+#include "plan/plan.h"
+#include "query/join_graph.h"
+#include "stats/estimator.h"
+
+namespace parqo {
+
+class PlanValidator {
+ public:
+  /// `local_index`, `estimator`, and `cost_model` may each be null, which
+  /// skips the locality check / the cardinality-and-cost recomputation.
+  PlanValidator(const JoinGraph& jg, const LocalQueryIndex* local_index,
+                const CardinalityEstimator* estimator = nullptr,
+                const CostModel* cost_model = nullptr)
+      : jg_(&jg),
+        local_index_(local_index),
+        estimator_(estimator),
+        cost_model_(cost_model) {}
+
+  /// Validates a complete plan: covers the whole query and every subtree
+  /// satisfies the invariants listed in ValidateSubplan().
+  Status ValidatePlan(const PlanNode& plan) const;
+
+  /// Validates a (sub)plan rooted anywhere in the query. Checks, per node:
+  ///  - scans reference an existing pattern and cover exactly {tp};
+  ///  - joins have >= 2 children whose pattern sets are pairwise disjoint
+  ///    and union to the node's set (division blocks partition the parent);
+  ///  - every subtree's pattern set is connected in the join graph
+  ///    (Lemma 1-2 contract: no Cartesian products, Definition 3 cond. 2);
+  ///  - distributed joins carry a join variable shared by all children
+  ///    (Definition 3 condition 3); local joins carry none and cover a
+  ///    subquery the local index confirms is local;
+  ///  - partition properties propagate legally (Section II-D): a local
+  ///    join consumes only base-partitioned inputs (scans / local joins),
+  ///    broadcast keeps the largest input's property, repartition
+  ///    re-establishes hash-on-join-variable;
+  ///  - cardinalities and costs are finite, non-negative, and (with an
+  ///    estimator and cost model) bit-identical to the Eq. 3/4
+  ///    recomputation from the leaves up.
+  Status ValidateSubplan(const PlanNode& plan) const;
+
+  /// Validates one memo entry: the stored plan covers exactly the key's
+  /// pattern set, the key is connected, and the plan passes
+  /// ValidateSubplan(). `key_tps` is the entry's subquery in *base*
+  /// pattern space (HGR callers expand group bitsets first).
+  Status ValidateMemoEntry(TpSet key_tps, const PlanNode& plan) const;
+
+ private:
+  const JoinGraph* jg_;
+  const LocalQueryIndex* local_index_;
+  const CardinalityEstimator* estimator_;
+  const CostModel* cost_model_;
+};
+
+/// The division contract of Definition 3, shared by the cbd/cmd
+/// enumerators' debug checks and the core's validate mode: `parts` (k >= 2)
+/// are non-empty, pairwise disjoint, cover `parent`, each part is connected
+/// in `g`, and each part contains a pattern incident to `vj`. Templated
+/// over the Graph concept so it runs on JoinGraph and GroupedJoinGraph.
+template <typename Graph>
+Status ValidateDivision(const Graph& g, TpSet parent,
+                        std::span<const TpSet> parts, VarId vj) {
+  if (parts.size() < 2) {
+    return Status::Internal("division of " + parent.ToString() +
+                            " has fewer than 2 blocks");
+  }
+  TpSet seen;
+  TpSet ntp = g.Ntp(vj) & parent;
+  for (TpSet part : parts) {
+    if (part.Empty()) {
+      return Status::Internal("empty division block of " + parent.ToString());
+    }
+    if (part.Intersects(seen)) {
+      return Status::Internal("overlapping division blocks of " +
+                              parent.ToString() + ": " + part.ToString() +
+                              " overlaps " + seen.ToString());
+    }
+    seen |= part;
+    if (!g.IsConnected(part)) {
+      return Status::Internal("disconnected division block " +
+                              part.ToString() + " of " + parent.ToString());
+    }
+    if (!part.Intersects(ntp)) {
+      return Status::Internal("division block " + part.ToString() +
+                              " contains no pattern incident to the join "
+                              "variable (Definition 3 condition 3)");
+    }
+  }
+  if (seen != parent) {
+    return Status::Internal("division blocks cover " + seen.ToString() +
+                            " instead of " + parent.ToString());
+  }
+  return Status::Ok();
+}
+
+}  // namespace parqo
+
+#endif  // PARQO_OPTIMIZER_PLAN_VALIDATOR_H_

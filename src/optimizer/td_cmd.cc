@@ -1,7 +1,9 @@
 #include "optimizer/td_cmd.h"
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "optimizer/plan_validator.h"
 #include "optimizer/td_cmd_core.h"
 
 namespace parqo {
@@ -26,8 +28,10 @@ OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
   PlanBuilder builder(*inputs.estimator, CostModel(options.cost_params));
 
   Stopwatch watch;
+  TdCmdRules run_rules = rules;
+  run_rules.validate = options.validate;
   TdCmdCore core(
-      jg, builder, rules,
+      jg, builder, run_rules,
       /*leaf_plan=*/[&](int tp) { return builder.Scan(tp); },
       /*is_local=*/
       [&](TpSet q) { return inputs.local_index->IsLocal(q); },
@@ -40,6 +44,18 @@ OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
     plan = core.RunParallel(pool, options.num_threads);
   } else {
     plan = core.Run();
+  }
+
+  if (options.validate && plan != nullptr) {
+    // The memo must never be polluted: every entry keys a connected
+    // subquery and stores a well-formed, correctly costed plan for
+    // exactly that subquery.
+    PlanValidator validator(jg, inputs.local_index, inputs.estimator,
+                            &builder.cost_model());
+    core.ForEachMemoEntry([&](TpSet q, const PlanNodePtr& entry) {
+      PARQO_CHECK(entry != nullptr);
+      PARQO_CHECK_OK(validator.ValidateMemoEntry(q, *entry));
+    });
   }
 
   OptimizeResult result;

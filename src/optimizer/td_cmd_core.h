@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <mutex>
@@ -41,11 +42,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/tp_set.h"
 #include "optimizer/cmd_enumerator.h"
+#include "optimizer/plan_validator.h"
 #include "plan/plan.h"
 
 namespace parqo {
@@ -60,6 +63,11 @@ struct TdCmdRules {
   /// dense queries before the wall-clock timeout fires (treated exactly
   /// like a timeout). ~4M entries is a few hundred MB of plans.
   std::size_t memo_cap = std::size_t{1} << 22;
+  /// Mid-run invariant validation (OptimizeOptions::validate): every
+  /// enumerated division is checked against the Definition 3 contract and
+  /// every candidate operator's cost against finiteness and the
+  /// "memoized best is cheapest" invariant. Violations abort.
+  bool validate = false;
 };
 
 /// Why an enumeration run gave up (stats only; both are reported as
@@ -146,6 +154,9 @@ class TdCmdCore {
                   [&](std::span<const TpSet> parts, VarId vj) {
                     ++root_ctx.enumerated;
                     if (!CheckDeadline<true>(root_ctx)) return false;
+                    if (rules_.validate) {
+                      PARQO_CHECK_OK(ValidateDivision(graph_, all, parts, vj));
+                    }
                     cmds.emplace_back(RootCmd{
                         std::vector<TpSet>(parts.begin(), parts.end()), vj});
                     return true;
@@ -176,6 +187,10 @@ class TdCmdCore {
     const int num_chunks = static_cast<int>(
         std::min(cmds.size(), static_cast<std::size_t>(num_threads) * 4));
     std::vector<Candidate> chunk_best(std::max(num_chunks, 1));
+    // validate only: cheapest alternative each chunk saw, for the
+    // "winner is no worse than every recorded alternative" cross-check.
+    std::vector<double> chunk_min(
+        std::max(num_chunks, 1), std::numeric_limits<double>::infinity());
     std::atomic<std::uint64_t> enumerated{0};
 
     if (num_chunks > 0) {
@@ -203,11 +218,23 @@ class TdCmdCore {
               if (broadcast_ok) {
                 PlanNodePtr cand =
                     builder_.Join(JoinMethod::kBroadcast, cmd.vj, children);
+                if (rules_.validate) {
+                  PARQO_CHECK(std::isfinite(cand->total_cost) &&
+                              cand->total_cost >= 0);
+                  chunk_min[chunk] =
+                      std::min(chunk_min[chunk], cand->total_cost);
+                }
                 best.Offer(cand->total_cost, static_cast<std::int64_t>(2 * i),
                            cand);
               }
               PlanNodePtr cand =
                   builder_.Join(JoinMethod::kRepartition, cmd.vj, children);
+              if (rules_.validate) {
+                PARQO_CHECK(std::isfinite(cand->total_cost) &&
+                            cand->total_cost >= 0);
+                chunk_min[chunk] =
+                    std::min(chunk_min[chunk], cand->total_cost);
+              }
               best.Offer(cand->total_cost,
                          static_cast<std::int64_t>(2 * i + 1), cand);
             }
@@ -232,6 +259,9 @@ class TdCmdCore {
     for (Candidate& c : chunk_best) {
       if (c.plan != nullptr) best.Offer(c.cost, c.index, c.plan);
     }
+    if (rules_.validate && best.plan != nullptr && !Aborted()) {
+      for (double m : chunk_min) PARQO_CHECK(best.cost <= m);
+    }
 
     stats_.enumerated_cmds =
         root_ctx.enumerated + enumerated.load(std::memory_order_relaxed);
@@ -243,6 +273,19 @@ class TdCmdCore {
   }
 
   const TdCmdStats& stats() const { return stats_; }
+
+  /// Post-run inspection of the memo (both the sequential map and the
+  /// parallel shards), for OptimizeOptions::validate wiring and tests.
+  /// Not thread-safe against a concurrent run.
+  template <typename Fn>
+  void ForEachMemoEntry(Fn&& fn) const {
+    // parqo-lint: allow(unordered-iteration) order-independent sweep
+    for (const auto& [q, plan] : memo_) fn(q, plan);
+    for (const MemoShard& shard : shards_) {
+      // parqo-lint: allow(unordered-iteration) order-independent sweep
+      for (const auto& [q, plan] : shard.map) fn(q, plan);
+    }
+  }
 
  private:
   /// Per-worker (or per-run, sequentially) mutable state: the deadline
@@ -369,12 +412,25 @@ class TdCmdCore {
       }
     }
 
+    double min_candidate = std::numeric_limits<double>::infinity();
+    auto consider = [&](const PlanNodePtr& cand) {
+      if (rules_.validate) {
+        PARQO_CHECK(std::isfinite(cand->total_cost) &&
+                    cand->total_cost >= 0);
+        min_candidate = std::min(min_candidate, cand->total_cost);
+      }
+      if (!best || cand->total_cost < best->total_cost) best = cand;
+    };
+
     std::vector<PlanNodePtr> children;
     EnumerateCmds(
         graph_, q, rules_.cmd_mode,
         [&](std::span<const TpSet> parts, VarId vj) {
           ++ctx.enumerated;
           if (!CheckDeadline<kParallel>(ctx)) return false;
+          if (rules_.validate) {
+            PARQO_CHECK_OK(ValidateDivision(graph_, q, parts, vj));
+          }
 
           children.clear();
           for (TpSet part : parts) {
@@ -385,15 +441,16 @@ class TdCmdCore {
           bool broadcast_ok =
               !rules_.binary_broadcast_only || parts.size() == 2;  // Rule 2
           if (broadcast_ok) {
-            PlanNodePtr cand =
-                builder_.Join(JoinMethod::kBroadcast, vj, children);
-            if (!best || cand->total_cost < best->total_cost) best = cand;
+            consider(builder_.Join(JoinMethod::kBroadcast, vj, children));
           }
-          PlanNodePtr cand =
-              builder_.Join(JoinMethod::kRepartition, vj, children);
-          if (!best || cand->total_cost < best->total_cost) best = cand;
+          consider(builder_.Join(JoinMethod::kRepartition, vj, children));
           return true;
         });
+    if (rules_.validate && best != nullptr && !Aborted()) {
+      // The plan this subquery memoizes must be no worse than every
+      // alternative recorded during its enumeration.
+      PARQO_CHECK(best->total_cost <= min_candidate);
+    }
     return best;
   }
 
