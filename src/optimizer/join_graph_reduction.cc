@@ -1,5 +1,6 @@
 #include "optimizer/join_graph_reduction.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_set>
 
@@ -57,6 +58,11 @@ JgrResult ReduceJoinGraph(const JoinGraph& jg, const LocalQueryIndex& index,
   result.candidates_considered = pool.size();
 
   std::vector<TpSet> candidates(pool.begin(), pool.end());
+  // Canonical order, not the set's hash order: the greedy loop below
+  // breaks (ratio, gain) ties by first-seen, so candidate order decides
+  // the grouping — and with it the final plan — whenever candidates tie.
+  std::sort(candidates.begin(), candidates.end(),
+            [](TpSet a, TpSet b) { return a.bits() < b.bits(); });
   std::vector<double> weight(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     weight[i] = estimator.Cardinality(candidates[i]);

@@ -77,6 +77,42 @@ TEST(JgrTest, GroupsAreDisjointLocalAndCovering) {
   EXPECT_LT(jgr.groups.size(), 7u);
 }
 
+TEST(JgrTest, TieBreakIsCanonicalNotHashOrder) {
+  // Regression: the greedy cover used to scan candidates in the pool's
+  // unordered_set hash order, so when two candidates tied on
+  // (ratio, gain) the grouping — and with it the final plan — depended
+  // on hash order. Minimized trigger: a 6-pattern chain with the two
+  // overlapping MLQ pairs {tp2,tp3} and {tp3,tp4}, which tie exactly
+  // under flat statistics. Canonical (sorted-by-bits) order must group
+  // {tp2,tp3} — the pool's hash order picked {tp3,tp4} here.
+  std::vector<TriplePattern> chain{
+      testing::Tp("?a", "<p1>", "?b"), testing::Tp("?b", "<p2>", "?c"),
+      testing::Tp("?c", "<p3>", "?d"), testing::Tp("?d", "<p4>", "?e"),
+      testing::Tp("?e", "<p5>", "?f"), testing::Tp("?f", "<p6>", "?g")};
+  JoinGraph jg(chain);
+
+  TpSet mid_lo;  // {2,3} = bits 12
+  mid_lo.Add(2);
+  mid_lo.Add(3);
+  TpSet mid_hi;  // {3,4} = bits 24
+  mid_hi.Add(3);
+  mid_hi.Add(4);
+  LocalQueryIndex index({mid_lo, mid_hi});
+
+  QueryStatistics flat(jg);
+  for (int tp = 0; tp < jg.num_tps(); ++tp) {
+    flat.SetCardinality(tp, 100);
+    for (VarId v : jg.VarsOf(tp)) flat.SetBindings(tp, v, 100);
+  }
+  CardinalityEstimator est(jg, std::move(flat));
+
+  JgrResult jgr = ReduceJoinGraph(jg, index, est, 4096);
+  std::vector<TpSet> expected{mid_lo, TpSet::Singleton(0),
+                              TpSet::Singleton(1), TpSet::Singleton(4),
+                              TpSet::Singleton(5)};
+  EXPECT_EQ(jgr.groups, expected);
+}
+
 TEST(GroupedGraphTest, ReducedStructure) {
   JoinGraph jg(Figure1Query());
   // Groups: {tp1,tp2,tp3,tp7} (the ?a star) / {tp5} / {tp6} / {tp4}.
