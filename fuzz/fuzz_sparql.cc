@@ -1,0 +1,47 @@
+// libFuzzer harness for the SPARQL BGP parser (src/sparql/parser.cc) and
+// the JoinGraph construction that consumes its output.
+//
+// Properties under fuzz:
+//   1. No crash / sanitizer report on arbitrary bytes — parse errors must
+//      surface as Status, never as aborts or OOB access.
+//   2. Accepted queries with 1..64 patterns (the TpSet capacity contract
+//      enforced by JoinGraph) must survive join-graph construction, and
+//      the graph's basic algebra must be self-consistent: every pattern
+//      renders, every join variable's Ntp is non-empty and within the
+//      query.
+//
+// Build: cmake -DPARQO_FUZZ=ON (see fuzz_ntriples.cc for the toolchain
+// split between libFuzzer and the standalone replay driver).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "query/join_graph.h"
+#include "sparql/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  parqo::Result<parqo::ParsedQuery> parsed = parqo::ParseSparql(text);
+  if (!parsed.ok()) return 0;
+  if (parsed->patterns.empty() ||
+      parsed->patterns.size() > parqo::TpSet::kMaxSize) {
+    return 0;  // JoinGraph's documented capacity contract
+  }
+
+  parqo::JoinGraph jg(parsed->patterns);
+  PARQO_CHECK(jg.num_tps() == static_cast<int>(parsed->patterns.size()));
+  PARQO_CHECK(jg.AllTps().Count() == jg.num_tps());
+  for (int tp = 0; tp < jg.num_tps(); ++tp) {
+    std::string rendered = jg.pattern(tp).ToString();
+    PARQO_CHECK(!rendered.empty());
+  }
+  for (parqo::VarId v = 0; v < jg.num_vars(); ++v) {
+    parqo::TpSet ntp = jg.Ntp(v);
+    PARQO_CHECK(ntp.IsSubsetOf(jg.AllTps()));
+  }
+  return 0;
+}

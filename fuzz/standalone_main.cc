@@ -1,0 +1,36 @@
+// Replay driver for the fuzz harnesses when libFuzzer is unavailable
+// (any non-clang toolchain). Feeds each file argument — typically the
+// seed corpus — through LLVMFuzzerTestOneInput once and exits non-zero
+// only on a read failure; harness property violations abort via
+// PARQO_CHECK exactly as under libFuzzer.
+//
+// Usage: fuzz_ntriples corpus/ntriples/*  (same for fuzz_sparql)
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %d input(s)\n", replayed);
+  return 0;
+}

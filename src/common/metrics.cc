@@ -97,7 +97,8 @@ void MetricHistogram::Reset() {
 MetricsRegistry& MetricsRegistry::Global() {
   // Leaked intentionally: instruments must outlive static destructors of
   // translation units that still flush metrics at exit.
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry =
+      new MetricsRegistry();  // parqo-lint: allow(naked-new) leaked singleton
   return *registry;
 }
 

@@ -97,6 +97,9 @@ int ThreadPool::DefaultConcurrency() {
 }
 
 ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: worker threads may still be parked in the pool
+  // during static destruction.
+  // parqo-lint: allow(naked-new) leaked singleton
   static ThreadPool* pool = new ThreadPool(DefaultConcurrency());
   return *pool;
 }

@@ -41,6 +41,7 @@ void AppendEscaped(std::string& out, std::string_view s) {
 }  // namespace
 
 TraceRecorder& TraceRecorder::Global() {
+  // parqo-lint: allow(naked-new) leaked singleton, outlives static dtors
   static TraceRecorder* recorder = new TraceRecorder();
   return *recorder;
 }

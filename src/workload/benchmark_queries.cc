@@ -185,9 +185,10 @@ SELECT ?protein ?annotation WHERE {
 }  // namespace
 
 const std::vector<BenchmarkQuery>& AllBenchmarkQueries() {
-  static const std::vector<BenchmarkQuery>& queries =
-      *new std::vector<BenchmarkQuery>(BuildQueries());
-  return queries;
+  // Leaked intentionally so the list outlives static destructors.
+  // parqo-lint: allow(naked-new) leaked singleton
+  static const auto* q = new std::vector<BenchmarkQuery>(BuildQueries());
+  return *q;
 }
 
 const BenchmarkQuery& GetBenchmarkQuery(const std::string& name) {

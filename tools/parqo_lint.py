@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the parqo codebase.
+
+Four rule families, each guarding an invariant the compiler cannot see:
+
+  unordered-iteration   Iterating a std::unordered_map/unordered_set feeds
+                        hash-order into whatever consumes the loop. In an
+                        optimizer whose contract is "parallel plan == serial
+                        plan, bit for bit" (the determinism tests in
+                        tests/parallel_test.cc), any such loop that touches a
+                        cost comparison or plan reduction is a latent
+                        nondeterminism bug. Every iteration must either be
+                        rewritten over a sorted/indexed container or carry an
+                        allow() comment arguing order-independence.
+
+  naked-new             Manual new/delete outside an owning abstraction.
+                        The codebase is shared_ptr/unique_ptr/value-only.
+
+  std-function-hot-path std::function in the enumerator hot path. The
+                        recursion in td_cmd_core.h is templated over its
+                        hook functors precisely so calls inline; a
+                        std::function reintroduces type erasure and an
+                        indirect call per memo probe.
+
+  metric-write          Metric state mutated outside the registry's atomic
+                        API (src/common/metrics.h). Hot paths share metric
+                        cache lines across worker threads; a non-atomic
+                        write is a data race TSan only catches when the
+                        interleaving cooperates.
+
+Suppression: append "// parqo-lint: allow(<rule>) <reason>" to the offending
+line, or put it on the line directly above. The reason is mandatory —
+an allow() without one is itself a finding.
+
+Usage: tools/parqo_lint.py [root ...]   (default: src tools bench fuzz)
+Exit status 1 if any finding is reported.
+"""
+
+import os
+import re
+import sys
+
+DEFAULT_ROOTS = ["src", "tools", "bench", "fuzz"]
+CXX_EXTENSIONS = (".h", ".cc")
+
+# Files whose call graph sits inside the per-division enumeration loop
+# (Algorithms 1-3) or the DP inner loop. std::function is banned here.
+HOT_PATH_FILES = {
+    "src/optimizer/td_cmd_core.h",
+    "src/optimizer/cbd_enumerator.h",
+    "src/optimizer/cmd_enumerator.h",
+    "src/optimizer/td_cmd.cc",
+    "src/optimizer/hgr_td_cmd.cc",
+    "src/optimizer/dp_bushy.cc",
+    "src/optimizer/msc.cc",
+    "src/optimizer/join_graph_reduction.cc",
+}
+
+ALLOW_RE = re.compile(r"//\s*parqo-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>\s+(\w+)"
+)
+RANGE_FOR_HEAD_RE = re.compile(r"for\s*\(")
+NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # "new T", not "new (place)"
+PLAIN_NEW_RE = re.compile(r"(?<![\w.])new\b")
+DELETE_RE = re.compile(r"(?<![\w.])delete(\s*\[\s*\])?\s+\w")
+STD_FUNCTION_RE = re.compile(r"std::function\s*<")
+METRIC_INTERNAL_RE = re.compile(r"\bmetrics_internal::")
+METRIC_RAW_WRITE_RE = re.compile(
+    r"\bMetric(?:Counter|Gauge|Histogram)\b[^;]*\bvalue_\b"
+)
+# A mutable namespace-scope accumulator named like a metric, declared
+# outside the registry: these are exactly the "I'll just bump a global"
+# writes the rule exists to keep atomic and inside src/common.
+METRIC_GLOBAL_RE = re.compile(
+    r"^\s*(?:static\s+)?(?:double|float|int|long|unsigned|std::u?int\d+_t|"
+    r"u?int\d+_t|std::size_t|size_t)\s+g?_?\w*(?:metric|counter)\w*\s*[={;]"
+)
+
+
+def range_for_sequence(code):
+    """Returns the sequence expression of a range-for on this line, or None.
+
+    Walks from "for (" to the matching close paren so loop bodies on the
+    same line are not captured, then splits on the range-for ':' at paren
+    depth zero.
+    """
+    m = RANGE_FOR_HEAD_RE.search(code)
+    if not m:
+        return None
+    depth = 1
+    colon = None
+    for i in range(m.end(), len(code)):
+        c = code[i]
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+            if depth == 0:
+                if colon is None:
+                    return None  # classic for(;;)
+                return code[colon + 1:i].strip()
+        elif c == ":" and depth == 1:
+            # "::" is scope resolution, not the range-for separator.
+            if code[i - 1:i] == ":" or code[i + 1:i + 2] == ":":
+                continue
+            colon = i
+    return None
+
+
+def final_identifier(expr):
+    """The last member in an access chain: "a.b_->map" -> "map",
+    "g.Items(x)" -> "Items". That is the entity actually iterated."""
+    expr = expr.strip()
+    call = re.match(r"(.*?)\s*\((?:[^()]|\([^()]*\))*\)$", expr)
+    if call:
+        expr = call.group(1)
+    ids = re.findall(r"\w+", expr)
+    return ids[-1] if ids else None
+
+
+def strip_strings_and_comments(line, in_block_comment):
+    """Blanks out string/char literals and comments, preserving length.
+
+    Returns (code, in_block_comment, comment_text) where comment_text is
+    the // trailer (used to find allow() pragmas).
+    """
+    out = []
+    comment = ""
+    i = 0
+    n = len(line)
+    state = "block" if in_block_comment else "code"
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                comment = line[i:]
+                break
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            i += 1
+        elif state in ("string", "char"):
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (
+                state == "char" and c == "'"
+            ):
+                state = "code"
+            out.append(" ")
+            i += 1
+    return "".join(out), state == "block", comment
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def report(self, path, lineno, rule, message):
+        self.findings.append((path, lineno, rule, message))
+
+    def lint_file(self, path):
+        rel = path.replace(os.sep, "/")
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+
+        code_lines = []
+        allows = {}  # line number -> set of allowed rules
+        in_block = False
+        for idx, raw in enumerate(raw_lines, start=1):
+            code, in_block, comment = strip_strings_and_comments(
+                raw, in_block
+            )
+            code_lines.append(code)
+            m = ALLOW_RE.search(comment)
+            if m:
+                rule, reason = m.group(1), m.group(2)
+                if not reason:
+                    self.report(
+                        rel, idx, "allow-without-reason",
+                        "allow(%s) needs a justification after the ')'"
+                        % rule,
+                    )
+                # A pragma on its own line covers the next line; an
+                # end-of-line pragma covers its own line.
+                target = idx + 1 if not code.strip() else idx
+                allows.setdefault(target, set()).add(rule)
+
+        def allowed(lineno, rule):
+            return rule in allows.get(lineno, set())
+
+        self.check_unordered_iteration(rel, code_lines, allowed)
+        self.check_naked_new(rel, code_lines, allowed)
+        self.check_std_function(rel, code_lines, allowed)
+        self.check_metric_writes(rel, code_lines, allowed)
+
+    def check_unordered_iteration(self, rel, code_lines, allowed):
+        rule = "unordered-iteration"
+        names = set()
+        for code in code_lines:
+            for m in UNORDERED_DECL_RE.finditer(code):
+                names.add(m.group(1))
+        if not names:
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            seq = range_for_sequence(code)
+            if seq is None:
+                continue
+            target = final_identifier(seq)
+            if target not in names:
+                continue
+            if allowed(lineno, rule):
+                continue
+            self.report(
+                rel, lineno, rule,
+                "range-for over unordered container '%s': hash order must "
+                "not feed cost comparisons or plan reductions; sort first "
+                "or justify with allow(%s)" % (seq, rule),
+            )
+
+    def check_naked_new(self, rel, code_lines, allowed):
+        rule = "naked-new"
+        for lineno, code in enumerate(code_lines, start=1):
+            hit = None
+            if PLAIN_NEW_RE.search(code):
+                hit = "new"
+            elif DELETE_RE.search(code) and "= delete" not in code:
+                hit = "delete"
+            if hit is None or allowed(lineno, rule):
+                continue
+            self.report(
+                rel, lineno, rule,
+                "naked '%s': use std::make_shared/std::make_unique or a "
+                "value type" % hit,
+            )
+
+    def check_std_function(self, rel, code_lines, allowed):
+        rule = "std-function-hot-path"
+        if rel not in HOT_PATH_FILES:
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            if not STD_FUNCTION_RE.search(code):
+                continue
+            if allowed(lineno, rule):
+                continue
+            self.report(
+                rel, lineno, rule,
+                "std::function in the enumeration hot path: use a template "
+                "parameter so the per-division calls inline",
+            )
+
+    def check_metric_writes(self, rel, code_lines, allowed):
+        rule = "metric-write"
+        if rel.startswith("src/common/"):
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            msg = None
+            if METRIC_INTERNAL_RE.search(code):
+                msg = ("metrics_internal is private to src/common; go "
+                       "through MetricsEnabled()/the registry")
+            elif METRIC_RAW_WRITE_RE.search(code):
+                msg = ("direct access to a metric's value_; use "
+                       "Add()/Set()/Observe()")
+            elif METRIC_GLOBAL_RE.match(code):
+                msg = ("namespace-scope metric/counter accumulator outside "
+                       "src/common; register a MetricCounter instead (hot "
+                       "paths share these across threads)")
+            if msg is None or allowed(lineno, rule):
+                continue
+            self.report(rel, lineno, rule, msg)
+
+
+def main(argv):
+    roots = argv[1:] or DEFAULT_ROOTS
+    linter = Linter()
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, _, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    for path in sorted(files):
+        linter.lint_file(path)
+
+    for path, lineno, rule, message in linter.findings:
+        print("%s:%d: [%s] %s" % (path, lineno, rule, message))
+    if linter.findings:
+        print("parqo_lint: %d finding(s)" % len(linter.findings))
+        return 1
+    print("parqo_lint: clean (%d files)" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
