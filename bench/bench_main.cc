@@ -9,12 +9,14 @@
 //
 // The JSON layout is documented in EXPERIMENTS.md ("BENCH_main.json").
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -46,7 +48,38 @@ struct Record {
   std::uint64_t distributed_joins = 0;
   bool timed_out = false;
   bool executed = false;
+
+  /// --faults mode: the same plan re-executed under a seeded FaultPlan
+  /// (crashes + stragglers + dropped shipments). "recovered" means the
+  /// run returned OK; "rows_match" means its result was row-for-row
+  /// identical to the fault-free run — the chaos invariant.
+  bool fault_run = false;
+  bool fault_recovered = false;
+  bool fault_rows_match = false;
+  double wall_seconds = 0;        ///< Fault-free execution wall time.
+  double fault_wall_seconds = 0;  ///< Execution wall time under faults.
+  std::uint64_t recovery_attempts = 0;
+  std::uint64_t operators_reexecuted = 0;
+  std::uint64_t rows_reshipped = 0;
+  std::uint64_t shipments_dropped = 0;
+  std::uint64_t node_crashes = 0;
 };
+
+/// Row-for-row equality up to order (both tables are deduplicated, so
+/// sorted row multisets coincide iff the results are identical).
+bool SameRows(const BindingTable& a, const BindingTable& b) {
+  if (a.schema() != b.schema() || a.NumRows() != b.NumRows()) return false;
+  auto rows = [](const BindingTable& t) {
+    std::vector<std::vector<TermId>> out;
+    out.reserve(t.NumRows());
+    for (std::size_t r = 0; r < t.NumRows(); ++r) {
+      out.emplace_back(t.RowPtr(r), t.RowPtr(r) + t.num_cols());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  return rows(a) == rows(b);
+}
 
 std::string JsonNum(double v) {
   if (!std::isfinite(v)) return "null";
@@ -74,6 +107,26 @@ std::string ToJson(const Record& r) {
   out += std::string("\"timed_out\": ") + (r.timed_out ? "true" : "false") +
          ", ";
   out += std::string("\"executed\": ") + (r.executed ? "true" : "false");
+  if (r.fault_run) {
+    out += ", \"fault\": {";
+    out += std::string("\"recovered\": ") +
+           (r.fault_recovered ? "true" : "false") + ", ";
+    out += std::string("\"rows_match\": ") +
+           (r.fault_rows_match ? "true" : "false") + ", ";
+    out += "\"wall_seconds\": " + JsonNum(r.wall_seconds) + ", ";
+    out += "\"fault_wall_seconds\": " + JsonNum(r.fault_wall_seconds) +
+           ", ";
+    out += "\"recovery_attempts\": " +
+           std::to_string(r.recovery_attempts) + ", ";
+    out += "\"operators_reexecuted\": " +
+           std::to_string(r.operators_reexecuted) + ", ";
+    out += "\"rows_reshipped\": " + std::to_string(r.rows_reshipped) +
+           ", ";
+    out += "\"shipments_dropped\": " +
+           std::to_string(r.shipments_dropped) + ", ";
+    out += "\"node_crashes\": " + std::to_string(r.node_crashes);
+    out += "}";
+  }
   out += "}";
   return out;
 }
@@ -117,6 +170,46 @@ Record RunQuery(const std::string& workload, const std::string& name,
   rec.rows_transferred = metrics.rows_transferred;
   rec.bytes_shipped = metrics.bytes_shipped;
   rec.distributed_joins = metrics.distributed_joins;
+  rec.wall_seconds = metrics.wall_seconds;
+
+  if (flags.faults) {
+    // The recovery-overhead study of EXPERIMENTS.md: re-run the same plan
+    // with crashes, a straggler or two, and a lossy network, and report
+    // how much wall time and re-shipped traffic recovery costs. The seed
+    // mixes the run seed with the query name so each query draws a
+    // distinct but reproducible fault schedule.
+    std::uint64_t fault_seed = flags.seed;
+    for (char c : workload + "/" + name) {
+      fault_seed = fault_seed * 131 + static_cast<unsigned char>(c);
+    }
+    FaultPlanConfig config;
+    config.crash_probability = 0.3;
+    config.slow_probability = 0.25;
+    config.slow_seconds = 1e-4;
+    config.drop_probability = 0.1;
+    FaultPlan fault(fault_seed, flags.nodes, config);
+    RetryPolicy retry;
+    retry.max_attempts = 6;
+    Executor chaos(cluster, prepared.join_graph(), options.cost_params,
+                   /*parallel_nodes=*/true, retry);
+    ExecMetrics fault_metrics;
+    Result<BindingTable> fault_rows = [&] {
+      FaultScope scope(&fault);
+      return ExecuteAndProject(chaos, *best.plan, parsed,
+                               prepared.join_graph(), &fault_metrics);
+    }();
+    rec.fault_run = true;
+    rec.fault_recovered = fault_rows.ok();
+    rec.fault_wall_seconds = fault_metrics.wall_seconds;
+    if (fault_rows.ok()) {
+      rec.fault_rows_match = SameRows(*rows, *fault_rows);
+      rec.recovery_attempts = fault_metrics.recovery_attempts;
+      rec.operators_reexecuted = fault_metrics.operators_reexecuted;
+      rec.rows_reshipped = fault_metrics.rows_reshipped;
+      rec.shipments_dropped = fault_metrics.shipments_dropped;
+      rec.node_crashes = fault_metrics.degraded_nodes.size();
+    }
+  }
   return rec;
 }
 
@@ -213,6 +306,27 @@ int Main(int argc, char** argv) {
   std::printf("\n%zu queries, %.3fs total optimize time\n", records.size(),
               totals.optimize_seconds);
 
+  std::size_t fault_runs = 0, recovered = 0, rows_matched = 0;
+  std::uint64_t attempts = 0, reshipped = 0, crashes = 0;
+  for (const Record& r : records) {
+    if (!r.fault_run) continue;
+    ++fault_runs;
+    if (r.fault_recovered) ++recovered;
+    if (r.fault_rows_match) ++rows_matched;
+    attempts += r.recovery_attempts;
+    reshipped += r.rows_reshipped;
+    crashes += r.node_crashes;
+  }
+  if (fault_runs > 0) {
+    std::printf(
+        "faults: %zu runs, %zu recovered (%zu row-identical), "
+        "%llu crashes, %llu retry attempts, %s rows re-shipped\n",
+        fault_runs, recovered, rows_matched,
+        static_cast<unsigned long long>(crashes),
+        static_cast<unsigned long long>(attempts),
+        WithThousandsSep(reshipped).c_str());
+  }
+
   std::string path = flags.json.empty() ? "BENCH_main.json" : flags.json;
   std::string json = "{\n  \"queries\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -233,6 +347,14 @@ int Main(int argc, char** argv) {
   json += "\"result_rows\": " + std::to_string(totals.result_rows) + ", ";
   json += "\"all_executed\": ";
   json += totals.timed_out ? "false" : "true";
+  if (fault_runs > 0) {
+    json += ", \"fault_runs\": " + std::to_string(fault_runs);
+    json += ", \"fault_recovered\": " + std::to_string(recovered);
+    json += ", \"fault_rows_matched\": " + std::to_string(rows_matched);
+    json += ", \"recovery_attempts\": " + std::to_string(attempts);
+    json += ", \"rows_reshipped\": " + std::to_string(reshipped);
+    json += ", \"node_crashes\": " + std::to_string(crashes);
+  }
   json += "},\n  \"metrics\": ";
   json += MetricsRegistry::Global().Snapshot().ToJson();
   json += "\n}\n";

@@ -8,6 +8,7 @@
 
 #include <functional>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "exec/binding_table.h"
@@ -211,6 +212,46 @@ void BM_MetricCounterEnabled(benchmark::State& state) {
   SetMetricsEnabled(false);
 }
 BENCHMARK(BM_MetricCounterEnabled);
+
+// The fault layer's contract (common/fault.h): with no FaultScope active
+// the executor's per-work-item probe is a single acquire load of a null
+// pointer, so production runs pay nothing for the recovery machinery.
+// Compare BM_FaultProbeDisabled against BM_FaultProbeBaseline to read
+// that cost; BM_FaultProbeEnabled prices a live BeginNodeOp on a plan
+// with no scheduled faults (the common case inside a chaos run).
+void BM_FaultProbeBaseline(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++i);
+  }
+}
+BENCHMARK(BM_FaultProbeBaseline);
+
+void BM_FaultProbeDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    FaultPlan* plan = ActiveFaultPlan();
+    benchmark::DoNotOptimize(plan);
+    if (plan != nullptr) {
+      benchmark::DoNotOptimize(plan->BeginNodeOp(0));
+    }
+  }
+}
+BENCHMARK(BM_FaultProbeDisabled);
+
+void BM_FaultProbeEnabled(benchmark::State& state) {
+  FaultPlan plan(4);
+  FaultScope scope(&plan);
+  int node = 0;
+  for (auto _ : state) {
+    FaultPlan* active = ActiveFaultPlan();
+    benchmark::DoNotOptimize(active);
+    if (active != nullptr) {
+      benchmark::DoNotOptimize(active->BeginNodeOp(node));
+      node = (node + 1) & 3;
+    }
+  }
+}
+BENCHMARK(BM_FaultProbeEnabled);
 
 void BM_BindingTableDeduplicate(benchmark::State& state) {
   Rng rng(9);

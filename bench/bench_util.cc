@@ -40,12 +40,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.json = v;
     } else if (arg == "--quick") {
       flags.quick = true;
+    } else if (arg == "--faults") {
+      flags.faults = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\n"
                    "flags: --timeout=S --nodes=N --lubm-universities=N "
                    "--uniprot-proteins=N --watdiv-instances=N --repeats=N "
-                   "--seed=N --threads=CSV --json=PATH --quick\n",
+                   "--seed=N --threads=CSV --json=PATH --quick --faults\n",
                    argv[i]);
       std::exit(2);
     }

@@ -30,6 +30,9 @@ struct Flags {
   int repeats = 3;             ///< Random queries per configuration.
   std::uint64_t seed = 2017;
   bool quick = false;          ///< Shrink sweeps for smoke runs.
+  /// bench_main: after each fault-free execution, re-run the same plan
+  /// under a seeded FaultPlan and record the recovery overhead.
+  bool faults = false;
   /// bench_parallel: comma-separated worker counts to sweep.
   std::string threads = "1,2,4,8";
   /// bench_parallel: write machine-readable results here ("" = don't).

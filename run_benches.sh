@@ -13,7 +13,7 @@ for b in /root/repo/build/bench/bench_table4 /root/repo/build/bench/bench_table5
   echo >> "$out"
 done
 echo "############ bench_main ############" >> "$out"
-timeout 2400 /root/repo/build/bench/bench_main \
+timeout 2400 /root/repo/build/bench/bench_main --faults \
   --json=/root/repo/BENCH_main.json >> "$out" 2>&1
 echo "(exit: $?)" >> "$out"
 echo >> "$out"

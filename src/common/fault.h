@@ -1,0 +1,237 @@
+// Deterministic fault injection and retry policy for the simulated
+// cluster (DESIGN.md section 11). The paper's setting — shared-nothing
+// nodes running distributed join jobs — is exactly where crashes,
+// stragglers, and lost shipments are routine, so the executor must detect
+// and recover from them rather than assume success.
+//
+// A FaultPlan is a seedable schedule of faults:
+//
+//   crash  - a node dies when its per-node operator counter reaches the
+//            scheduled ordinal ("crash mid-scan / mid-join"). One-shot:
+//            the event is consumed when it fires, so the recovery path is
+//            not re-killed by the same event. Storage (NodeStore) is
+//            durable, like DFS blocks under MapReduce: survivors re-read
+//            the dead node's partition.
+//   slow   - a straggler: every operator on the node is delayed by a
+//            fixed amount (the only sanctioned sleep in the codebase;
+//            tools/parqo_lint.py forbids naked sleeps elsewhere).
+//   drop   - flaky network: each shipment is lost with probability p,
+//            decided by a deterministic per-probe Bernoulli draw. Drops
+//            can repeat on retry, which is what exhausts retry budgets.
+//
+// Plans are injected with an RAII FaultScope. When no scope is active the
+// executor's probe is a single relaxed atomic load of a null pointer —
+// production builds pay nothing (asserted by BM_FaultProbe* in
+// bench/bench_micro.cc).
+
+#ifndef PARQO_COMMON_FAULT_H_
+#define PARQO_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace parqo {
+
+/// Knobs for FaultPlan's seeded-random constructor. Probabilities are
+/// per-node (crash/slow) or per-shipment (drop).
+struct FaultPlanConfig {
+  double crash_probability = 0.0;
+  double slow_probability = 0.0;
+  double drop_probability = 0.0;
+  /// A scheduled crash fires at a uniform ordinal in [0, crash_window)
+  /// of the node's operator sequence, so crashes land mid-plan, not only
+  /// at the first scan.
+  std::uint64_t crash_window = 8;
+  /// Straggler delay per operator on a slow node.
+  double slow_seconds = 0.0005;
+};
+
+/// One run's worth of fault schedules. Thread-safe: the executor probes
+/// it concurrently from simulated-node workers. All randomness is fixed
+/// at construction or drawn from an internal seeded Rng, so a (seed,
+/// plan, data) triple replays the identical fault sequence when the
+/// probe order is deterministic (serial executor) and the identical fault
+/// *set* under the parallel executor.
+class FaultPlan {
+ public:
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  /// An empty plan (no faults) for `num_nodes` nodes; configure with the
+  /// setters below.
+  explicit FaultPlan(int num_nodes);
+
+  /// Seeded-random plan: each node draws its crash/slow fate, and
+  /// shipments are dropped with config.drop_probability.
+  FaultPlan(std::uint64_t seed, int num_nodes,
+            const FaultPlanConfig& config);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Schedules node `node` to crash when its operator counter reaches
+  /// `ordinal` (0 = its very first operator).
+  void CrashNodeAtOp(int node, std::uint64_t ordinal);
+  /// Makes node `node` a straggler: every operator sleeps `seconds`.
+  void SlowNode(int node, double seconds);
+  /// Drops each shipment independently with probability `p`, drawn from
+  /// a dedicated Rng seeded with `seed`.
+  void DropShipments(double p, std::uint64_t seed);
+
+  /// Executor probe: called once per (operator, node) work item before
+  /// the work runs. Applies straggler delay, advances the node's operator
+  /// counter, and returns false when the node's scheduled crash fires
+  /// (consuming the event). A false return means the work item — and any
+  /// partial output it would have produced — is lost.
+  bool BeginNodeOp(int node);
+
+  /// Executor probe: called once per shipment (one broadcast copy or one
+  /// repartition batch). Returns false when the flaky network eats it.
+  bool DeliverShipment();
+
+  /// Injection counters, for harness reporting and coverage assertions.
+  std::uint64_t crashes_fired() const {
+    return crashes_fired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t drops_fired() const {
+    return drops_fired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slow_ops() const {
+    return slow_ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct NodeSchedule {
+    std::atomic<std::uint64_t> ops{0};       ///< Operator counter.
+    std::atomic<std::uint64_t> crash_at{kNever};
+    double slow_seconds = 0;                 ///< 0 = not a straggler.
+  };
+
+  std::vector<NodeSchedule> nodes_;
+  double drop_probability_ = 0;
+  std::mutex drop_mu_;  ///< Guards drop_rng_ (shipments are not hot).
+  Rng drop_rng_{0};
+  std::atomic<std::uint64_t> crashes_fired_{0};
+  std::atomic<std::uint64_t> drops_fired_{0};
+  std::atomic<std::uint64_t> slow_ops_{0};
+};
+
+namespace fault_internal {
+/// The process-wide active plan. Null outside any FaultScope; the
+/// executor's disabled-path probe is one relaxed load of this pointer.
+inline std::atomic<FaultPlan*> g_active_plan{nullptr};
+}  // namespace fault_internal
+
+/// The plan installed by the innermost live FaultScope, or null.
+inline FaultPlan* ActiveFaultPlan() {
+  return fault_internal::g_active_plan.load(std::memory_order_acquire);
+}
+
+/// RAII injection scope: installs `plan` process-wide for its lifetime
+/// and restores the previous plan (usually null) on destruction. Scopes
+/// are installed/removed single-threaded (test or bench setup code);
+/// executor workers only read.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan* plan)
+      : prev_(fault_internal::g_active_plan.exchange(
+            plan, std::memory_order_acq_rel)) {}
+  ~FaultScope() {
+    fault_internal::g_active_plan.store(prev_, std::memory_order_release);
+  }
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultPlan* prev_;
+};
+
+/// Bounded-retry policy with exponential backoff, deterministic jitter,
+/// and deadline awareness. Shared by the executor's recovery loop; the
+/// defaults keep simulated retries free (no backoff sleep) while still
+/// exercising the full policy arithmetic.
+struct RetryPolicy {
+  /// Total attempts including the first; 0 forbids even the first try.
+  int max_attempts = 4;
+  double initial_backoff_seconds = 0.0;
+  double max_backoff_seconds = 0.050;
+  double backoff_multiplier = 2.0;
+  /// Each backoff is scaled by a uniform factor in [1 - j, 1 + j].
+  double jitter_fraction = 0.25;
+};
+
+/// One operation's retry state: attempt budget, deadline, and the
+/// jittered backoff schedule (deterministic for a fixed seed).
+class Retry {
+ public:
+  Retry(const RetryPolicy& policy, std::uint64_t seed,
+        Deadline deadline = Deadline::Infinite())
+      : policy_(policy),
+        rng_(seed),
+        deadline_(deadline),
+        next_backoff_(policy.initial_backoff_seconds) {}
+
+  /// True while another attempt may start: budget left, deadline alive.
+  bool ShouldRetry() const {
+    return attempts_started_ < policy_.max_attempts && !deadline_.Expired();
+  }
+
+  /// Records the start of an attempt; returns its 0-based index.
+  /// Requires ShouldRetry().
+  int BeginAttempt() {
+    PARQO_CHECK(ShouldRetry());
+    return attempts_started_++;
+  }
+
+  int attempts_started() const { return attempts_started_; }
+  const Deadline& deadline() const { return deadline_; }
+
+  /// The jittered backoff to wait before the next attempt. Clamped to
+  /// [0, max_backoff_seconds] — the exponential growth saturates instead
+  /// of overflowing — and never longer than the deadline's remainder.
+  double NextBackoffSeconds() {
+    double base = next_backoff_;
+    if (base > policy_.max_backoff_seconds) {
+      base = policy_.max_backoff_seconds;
+    }
+    // Saturating growth: once base hits the cap the product may be
+    // +inf for extreme multipliers; the min() below absorbs it.
+    double grown = base * policy_.backoff_multiplier;
+    next_backoff_ = grown < policy_.max_backoff_seconds
+                        ? grown
+                        : policy_.max_backoff_seconds;
+    double jitter = 1.0 + policy_.jitter_fraction *
+                              (2.0 * rng_.UniformDouble() - 1.0);
+    double wait = base * jitter;
+    if (wait < 0) wait = 0;
+    if (wait > policy_.max_backoff_seconds) {
+      wait = policy_.max_backoff_seconds;
+    }
+    double remaining = deadline_.RemainingSeconds();
+    return wait < remaining ? wait : remaining;
+  }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  Deadline deadline_;
+  int attempts_started_ = 0;
+  double next_backoff_;
+};
+
+/// The codebase's single sanctioned sleep (see the naked-sleep rule in
+/// tools/parqo_lint.py): straggler injection and retry backoff both wait
+/// through here. No-op for non-positive durations.
+void SleepSeconds(double seconds);
+
+}  // namespace parqo
+
+#endif  // PARQO_COMMON_FAULT_H_

@@ -20,6 +20,13 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// A recoverable-resource failure that survived every retry (e.g. the
+  /// simulated cluster lost more nodes than the retry policy tolerates).
+  /// Callers may re-submit the whole operation; the result is never
+  /// partially wrong, it is absent.
+  kUnavailable,
+  /// A deadline expired before the operation could finish.
+  kDeadlineExceeded,
 };
 
 /// A success-or-error value; cheap to copy on the success path.
@@ -44,6 +51,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

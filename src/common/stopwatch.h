@@ -1,10 +1,15 @@
-// Wall-clock stopwatch used by the optimization-time experiments
-// (Table IV, Figures 6a and 7) and by optimizer timeouts.
+// Wall-clock stopwatch and deadlines used by the optimization-time
+// experiments (Table IV, Figures 6a and 7), optimizer timeouts, and the
+// fault-recovery retry policy. Everything here is steady_clock on purpose:
+// injected slowness (common/fault.h) and NTP adjustments must never warp
+// elapsed-time or deadline math, so no conversion through system_clock is
+// allowed anywhere in timeout handling.
 
 #ifndef PARQO_COMMON_STOPWATCH_H_
 #define PARQO_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <limits>
 
 namespace parqo {
 
@@ -21,6 +26,43 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A monotonic point in time after which work should give up. Cheap to
+/// copy; the infinite deadline never expires and is the default everywhere
+/// so enabling the machinery costs one comparison on probe.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `seconds` of steady-clock time from now. Non-positive values
+  /// produce an already-expired deadline.
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool IsInfinite() const { return infinite_; }
+
+  bool Expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry: +infinity for the infinite deadline, clamped
+  /// at 0 once expired.
+  double RemainingSeconds() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    double s = std::chrono::duration<double>(at_ - Clock::now()).count();
+    return s > 0 ? s : 0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool infinite_ = true;
+  Clock::time_point at_{};
 };
 
 }  // namespace parqo

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <functional>
+#include <mutex>
+#include <numeric>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -138,6 +142,141 @@ void ForEachNode(int n, bool parallel,
   ThreadPool::Global().ParallelFor(n, fn, kMaxNodeWorkers);
 }
 
+// Per-run fault-recovery state. `host[p]` is the physical node currently
+// executing logical partition p's share of every operator; identity until
+// a crash re-homes the dead node's partitions onto a survivor (the
+// partition data itself lives in the durable NodeStore, so the survivor
+// re-reads it). Null `fault` means the layer is disabled and none of the
+// vectors are even allocated.
+struct Recovery {
+  FaultPlan* fault = nullptr;
+  RetryPolicy policy;
+  std::mutex mu;  ///< Guards alive/host/alive_count + metric recovery fields.
+  std::vector<char> alive;
+  std::vector<int> host;
+  int alive_count = 0;
+};
+
+// Marks `node` crashed (idempotent under races) and re-homes every
+// partition it hosted onto the lowest-id survivor.
+void CrashNode(Recovery& rec, ExecMetrics& m, int node) {
+  std::lock_guard<std::mutex> lock(rec.mu);
+  if (!rec.alive[node]) return;
+  rec.alive[node] = 0;
+  --rec.alive_count;
+  m.degraded_nodes.push_back(node);
+  int next = -1;
+  for (std::size_t i = 0; i < rec.alive.size(); ++i) {
+    if (rec.alive[i]) {
+      next = static_cast<int>(i);
+      break;
+    }
+  }
+  if (next < 0) return;  // nobody left; callers will report kUnavailable
+  for (int& h : rec.host) {
+    if (h == node) h = next;
+  }
+}
+
+// Runs logical partition `part`'s work item for one operator with crash
+// detection: the hosting node is probed before the work runs, so a fired
+// crash loses the whole item (nothing partial is observed) and the item
+// is retried on whatever node hosts the partition after re-homing.
+// `work(part)` must be runnable at most once (it may move its inputs).
+template <typename Work>
+Status RunOnePartition(Recovery& rec, ExecMetrics& m, const char* op,
+                       int part, Work& work) {
+  Retry retry(rec.policy,
+              0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(part));
+  for (;;) {
+    int host;
+    {
+      std::lock_guard<std::mutex> lock(rec.mu);
+      if (rec.alive_count == 0) {
+        return Status::Unavailable(
+            std::string(op) + ": no surviving node can host partition " +
+            std::to_string(part));
+      }
+      host = rec.host[part];
+    }
+    if (!retry.ShouldRetry()) {
+      return Status::Unavailable(
+          std::string(op) + " on partition " + std::to_string(part) +
+          " failed after " + std::to_string(retry.attempts_started()) +
+          " attempts");
+    }
+    int attempt = retry.BeginAttempt();
+    if (attempt > 0) {
+      std::lock_guard<std::mutex> lock(rec.mu);
+      ++m.recovery_attempts;
+    }
+    if (!rec.fault->BeginNodeOp(host)) {
+      CrashNode(rec, m, host);
+      SleepSeconds(retry.NextBackoffSeconds());
+      continue;
+    }
+    work(part);
+    if (attempt > 0) {
+      std::lock_guard<std::mutex> lock(rec.mu);
+      ++m.operators_reexecuted;
+    }
+    return Status::Ok();
+  }
+}
+
+// Fans one operator's per-partition work over the simulated nodes. The
+// disabled path is byte-for-byte the old executor: no Status vector, no
+// probes, no allocations.
+template <typename Work>
+Status RunPartitioned(Recovery& rec, ExecMetrics& m, const char* op, int n,
+                      bool parallel, Work&& work) {
+  if (rec.fault == nullptr) {
+    ForEachNode(n, parallel, work);
+    return Status::Ok();
+  }
+  std::vector<Status> statuses(n);
+  ForEachNode(n, parallel, [&](int i) {
+    statuses[i] = RunOnePartition(rec, m, op, i, work);
+  });
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::Ok();
+}
+
+// Delivers one shipment batch of `rows` rows to partition `target`,
+// re-shipping (only) this batch when the flaky network drops it. Counts
+// node_rows_received on successful delivery — the reconciliation
+// invariant (received sums == rows_transferred) holds under faults
+// because dropped copies are accounted separately in rows_reshipped.
+// Empty batches carry no payload and are not probed. Driver-thread only.
+Status DeliverBatch(Recovery& rec, ExecMetrics& m, const char* op,
+                    std::uint64_t rows, int target) {
+  if (rec.fault == nullptr || rows == 0) {
+    m.node_rows_received[target] += rows;
+    return Status::Ok();
+  }
+  Retry retry(rec.policy,
+              0x2545f4914f6cdd1dULL ^ static_cast<std::uint64_t>(target));
+  for (;;) {
+    if (!retry.ShouldRetry()) {
+      return Status::Unavailable(
+          std::string(op) + " shipment to node " + std::to_string(target) +
+          " lost after " + std::to_string(retry.attempts_started()) +
+          " attempts");
+    }
+    int attempt = retry.BeginAttempt();
+    if (attempt > 0) ++m.recovery_attempts;
+    if (rec.fault->DeliverShipment()) {
+      m.node_rows_received[target] += rows;
+      return Status::Ok();
+    }
+    ++m.shipments_dropped;
+    m.rows_reshipped += rows;
+    SleepSeconds(retry.NextBackoffSeconds());
+  }
+}
+
 const char* SpanName(const PlanNode& node) {
   if (node.kind == PlanNode::Kind::kScan) return "exec/scan";
   switch (node.method) {
@@ -192,11 +331,13 @@ struct Executor::DistTable {
 };
 
 Executor::Executor(const Cluster& cluster, const JoinGraph& jg,
-                   CostParams cost_params, bool parallel_nodes)
+                   CostParams cost_params, bool parallel_nodes,
+                   RetryPolicy retry)
     : cluster_(cluster),
       jg_(jg),
       cost_model_(cost_params),
-      parallel_nodes_(parallel_nodes) {}
+      parallel_nodes_(parallel_nodes),
+      retry_(retry) {}
 
 Result<BindingTable> Executor::Execute(const PlanNode& plan,
                                        ExecMetrics* metrics) {
@@ -210,33 +351,44 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
   m.node_rows_received.assign(n, 0);
   m.node_rows_joined.assign(n, 0);
 
-  // Recursive evaluation; returns the distributed table and fills the
-  // measured Eq. 3 cost of the subtree.
+  Recovery rec;
+  rec.fault = ActiveFaultPlan();
+  if (rec.fault != nullptr) {
+    PARQO_CHECK(rec.fault->num_nodes() >= n);
+    rec.policy = retry_;
+    rec.alive.assign(n, 1);
+    rec.host.resize(n);
+    std::iota(rec.host.begin(), rec.host.end(), 0);
+    rec.alive_count = n;
+  }
+
+  // Recursive evaluation; fills the distributed table and the measured
+  // Eq. 3 cost of the subtree, or stops at the first unrecoverable fault.
   struct Frame {
     DistTable table;
     double cost = 0;
   };
-  std::function<Frame(const PlanNode&)> eval =
-      [&](const PlanNode& node) -> Frame {
+  std::function<Status(const PlanNode&, Frame*)> eval =
+      [&](const PlanNode& node, Frame* frame) -> Status {
     // The span covers the whole subtree; nested operator spans on the
     // same thread render as a flame graph in the trace viewer.
     TraceSpan span(SpanName(node), "exec");
-    Frame frame;
     if (node.kind == PlanNode::Kind::kScan) {
       ResolvedPattern rp =
           BindPattern(jg_.pattern(node.tp), jg_, cluster_.graph().dict());
-      frame.table.schema = rp.schema;
-      frame.table.per_node.resize(n);
-      ForEachNode(n, parallel_nodes_, [&](int i) {
-        frame.table.per_node[i] = cluster_.node(i).Scan(rp);
-      });
+      frame->table.schema = rp.schema;
+      frame->table.per_node.resize(n);
+      PARQO_RETURN_IF_ERROR(RunPartitioned(
+          rec, m, "scan", n, parallel_nodes_, [&](int i) {
+            frame->table.per_node[i] = cluster_.node(i).Scan(rp);
+          }));
       for (int i = 0; i < n; ++i) {
-        std::uint64_t rows = frame.table.per_node[i].NumRows();
+        std::uint64_t rows = frame->table.per_node[i].NumRows();
         m.rows_scanned += rows;
         m.node_rows_scanned[i] += rows;
       }
-      frame.cost = 0;
-      return frame;
+      frame->cost = 0;
+      return Status::Ok();
     }
 
     // Evaluate children.
@@ -245,7 +397,8 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     double max_child_cost = 0;
     std::vector<double> input_cards;
     for (const PlanNodePtr& c : node.children) {
-      Frame f = eval(*c);
+      Frame f;
+      PARQO_RETURN_IF_ERROR(eval(*c, &f));
       max_child_cost = std::max(max_child_cost, f.cost);
       input_cards.push_back(static_cast<double>(f.table.GlobalRows()));
       children.push_back(std::move(f));
@@ -257,13 +410,14 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     out.per_node.resize(n);
     switch (node.method) {
       case JoinMethod::kLocal: {
-        ForEachNode(n, parallel_nodes_, [&](int i) {
-          BindingTable acc = children[0].table.per_node[i];
-          for (std::size_t c = 1; c < children.size(); ++c) {
-            acc = HashJoin(acc, children[c].table.per_node[i]);
-          }
-          out.per_node[i] = std::move(acc);
-        });
+        PARQO_RETURN_IF_ERROR(RunPartitioned(
+            rec, m, "local_join", n, parallel_nodes_, [&](int i) {
+              BindingTable acc = children[0].table.per_node[i];
+              for (std::size_t c = 1; c < children.size(); ++c) {
+                acc = HashJoin(acc, children[c].table.per_node[i]);
+              }
+              out.per_node[i] = std::move(acc);
+            }));
         break;
       }
       case JoinMethod::kBroadcast: {
@@ -285,24 +439,27 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
             }
           }
           g.Deduplicate();
-          // One copy of the gathered input lands on every node.
+          // One copy of the gathered input lands on every node; each
+          // copy is one shipment the flaky network may eat.
           std::uint64_t rows = g.NumRows() * static_cast<std::uint64_t>(n);
           std::uint64_t bytes = rows * RowBytes(g.schema());
+          for (int i = 0; i < n; ++i) {
+            PARQO_RETURN_IF_ERROR(
+                DeliverBatch(rec, m, "broadcast", g.NumRows(), i));
+          }
           m.rows_transferred += rows;
           m.bytes_shipped += bytes;
-          for (int i = 0; i < n; ++i) {
-            m.node_rows_received[i] += g.NumRows();
-          }
           m.edges.push_back({"broadcast", rows, bytes});
           gathered.push_back(std::move(g));
         }
-        ForEachNode(n, parallel_nodes_, [&](int i) {
-          BindingTable acc = children[largest].table.per_node[i];
-          for (const BindingTable& g : gathered) {
-            acc = HashJoin(acc, g);
-          }
-          out.per_node[i] = std::move(acc);
-        });
+        PARQO_RETURN_IF_ERROR(RunPartitioned(
+            rec, m, "broadcast_join", n, parallel_nodes_, [&](int i) {
+              BindingTable acc = children[largest].table.per_node[i];
+              for (const BindingTable& g : gathered) {
+                acc = HashJoin(acc, g);
+              }
+              out.per_node[i] = std::move(acc);
+            }));
         break;
       }
       case JoinMethod::kRepartition: {
@@ -316,16 +473,21 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
             col = in.per_node[0].ColumnOf(node.join_var);
           }
           PARQO_CHECK(col >= 0);
-          // Count at the receiving end so per-node sums reproduce the
-          // totals exactly: every routed row has one target.
-          std::uint64_t edge_rows = 0;
           for (const BindingTable& t : in.per_node) {
             for (std::size_t r = 0; r < t.NumRows(); ++r) {
               int target = HashToNode(t.At(r, col), n);
               routed[c][target].AppendRow(t.RowPtr(r));
-              ++m.node_rows_received[target];
             }
-            edge_rows += t.NumRows();
+          }
+          // Deliver (and count) at the receiving end so per-node sums
+          // reproduce the totals exactly: every routed row has one
+          // target. One target's batch is one shipment.
+          std::uint64_t edge_rows = 0;
+          for (int t = 0; t < n; ++t) {
+            std::uint64_t batch = routed[c][t].NumRows();
+            PARQO_RETURN_IF_ERROR(
+                DeliverBatch(rec, m, "repartition", batch, t));
+            edge_rows += batch;
           }
           std::uint64_t edge_bytes = edge_rows * RowBytes(in.schema);
           m.rows_transferred += edge_rows;
@@ -334,13 +496,14 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
           // Replicated source rows can meet at the target; dedup there.
           for (BindingTable& t : routed[c]) t.Deduplicate();
         }
-        ForEachNode(n, parallel_nodes_, [&](int i) {
-          BindingTable acc = std::move(routed[0][i]);
-          for (std::size_t c = 1; c < children.size(); ++c) {
-            acc = HashJoin(acc, routed[c][i]);
-          }
-          out.per_node[i] = std::move(acc);
-        });
+        PARQO_RETURN_IF_ERROR(RunPartitioned(
+            rec, m, "repartition_join", n, parallel_nodes_, [&](int i) {
+              BindingTable acc = std::move(routed[0][i]);
+              for (std::size_t c = 1; c < children.size(); ++c) {
+                acc = HashJoin(acc, routed[c][i]);
+              }
+              out.per_node[i] = std::move(acc);
+            }));
         break;
       }
     }
@@ -354,12 +517,30 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     double op_cost = cost_model_.JoinOpCost(node.method, input_cards,
                                             output_card);
     m.total_work += op_cost;
-    frame.cost = max_child_cost + op_cost;
-    frame.table = std::move(out);
-    return frame;
+    frame->cost = max_child_cost + op_cost;
+    frame->table = std::move(out);
+    return Status::Ok();
   };
 
-  Frame root = eval(plan);
+  Frame root;
+  Status st = eval(plan, &root);
+  if (!st.ok()) {
+    // Partial per-operator sums must never leak into reports: zero
+    // everything (per-node vectors stay sized so sums still reconcile
+    // at 0 == 0) and mark the run failed. Wall time is kept — it is an
+    // observation of this run, not a per-operator sum.
+    double wall = watch.ElapsedSeconds();
+    m = ExecMetrics{};
+    m.failed = true;
+    m.node_rows_scanned.assign(n, 0);
+    m.node_rows_received.assign(n, 0);
+    m.node_rows_joined.assign(n, 0);
+    m.wall_seconds = wall;
+    if (MetricsEnabled()) {
+      MetricsRegistry::Global().counter("exec.failures").Add(1);
+    }
+    return st;
+  }
   m.measured_cost = root.cost;
 
   // Gather and deduplicate the global result.
@@ -383,6 +564,14 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     reg.counter("exec.result_rows").Add(m.result_rows);
     reg.histogram("exec.wall_seconds").Observe(m.wall_seconds);
     reg.histogram("exec.measured_cost").Observe(m.measured_cost);
+    if (m.recovery_attempts > 0) {
+      reg.counter("exec.recovery_attempts").Add(m.recovery_attempts);
+      reg.counter("exec.operators_reexecuted").Add(m.operators_reexecuted);
+      reg.counter("exec.rows_reshipped").Add(m.rows_reshipped);
+      reg.counter("exec.shipments_dropped").Add(m.shipments_dropped);
+      reg.counter("exec.node_crashes")
+          .Add(static_cast<std::uint64_t>(m.degraded_nodes.size()));
+    }
   }
   return result;
 }

@@ -12,6 +12,17 @@
 // cost-model time of Eq. 3/4 evaluated with *measured* cardinalities
 // (the paper's "query processing time" proxy in this reproduction — see
 // DESIGN.md), plus raw I/O and network row counts and wall time.
+//
+// Failure semantics (DESIGN.md section 11): under an active FaultScope
+// (common/fault.h) a node can crash mid-operator and a shipment can be
+// dropped. The executor detects both, marks crashed nodes degraded for
+// the rest of the query, re-executes the lost partition work on a
+// surviving node (re-reading the partition from the durable NodeStore),
+// and re-ships only the lost batches — all bounded by a RetryPolicy.
+// When recovery is impossible the query returns a typed
+// StatusCode::kUnavailable and zeroed metrics; it never returns a
+// silently wrong result. With no FaultScope the fault path costs one
+// null-pointer check per operator work item and allocates nothing.
 
 #ifndef PARQO_EXEC_EXECUTOR_H_
 #define PARQO_EXEC_EXECUTOR_H_
@@ -20,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "cost/cost_model.h"
 #include "exec/cluster.h"
@@ -64,6 +76,19 @@ struct ExecMetrics {
     std::uint64_t bytes = 0;
   };
   std::vector<EdgeTraffic> edges;
+
+  /// Recovery accounting (all zero on a fault-free run). The scalar
+  /// traffic totals above only count *successful* deliveries, so the
+  /// per-node reconciliation invariant survives faults; the wasted
+  /// traffic of re-sent batches shows up in rows_reshipped instead.
+  /// True when Execute() returned a non-OK status: every other field is
+  /// zeroed so partial per-operator sums can never leak into reports.
+  bool failed = false;
+  std::uint64_t recovery_attempts = 0;    ///< Retry attempts after faults.
+  std::uint64_t operators_reexecuted = 0; ///< Work items that needed > 1 try.
+  std::uint64_t rows_reshipped = 0;       ///< Rows sent again after a drop.
+  std::uint64_t shipments_dropped = 0;    ///< Batches the network ate.
+  std::vector<int> degraded_nodes;        ///< Nodes that crashed, in order.
 };
 
 /// Resolves a pattern's constants against the dictionary and its variables
@@ -75,12 +100,16 @@ class Executor {
  public:
   /// All references must outlive the executor. With `parallel_nodes` the
   /// per-node work of every operator (scans and joins) runs on one
-  /// thread per simulated node, like the real cluster would.
+  /// thread per simulated node, like the real cluster would. `retry`
+  /// bounds fault recovery; it is irrelevant without an active
+  /// FaultScope.
   Executor(const Cluster& cluster, const JoinGraph& jg,
-           CostParams cost_params, bool parallel_nodes = false);
+           CostParams cost_params, bool parallel_nodes = false,
+           RetryPolicy retry = RetryPolicy{});
 
   /// Executes `plan` and returns the deduplicated global result over all
-  /// of the query's variables. Fills `metrics` if non-null.
+  /// of the query's variables. Fills `metrics` if non-null; on error the
+  /// metrics are zeroed with `failed` set (never partial sums).
   Result<BindingTable> Execute(const PlanNode& plan, ExecMetrics* metrics);
 
  private:
@@ -90,6 +119,7 @@ class Executor {
   const JoinGraph& jg_;
   CostModel cost_model_;
   bool parallel_nodes_;
+  RetryPolicy retry_;
 };
 
 /// Convenience: executes and projects onto the query's SELECT variables.

@@ -6,6 +6,7 @@
 #include "optimizer/grouped_graph.h"
 #include "optimizer/join_graph_reduction.h"
 #include "optimizer/plan_validator.h"
+#include "optimizer/td_cmd.h"
 #include "optimizer/td_cmd_core.h"
 
 namespace parqo {
@@ -50,7 +51,7 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
       [&](TpSet rels) {
         return builder.LocalJoinAll(grouped.ExpandTps(rels));
       },
-      options.timeout_seconds);
+      options.timeout_seconds, options.deadline);
 
   if (options.num_threads > 1) {
     ThreadPool& pool = options.thread_pool != nullptr ? *options.thread_pool
@@ -74,7 +75,9 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
 
   result.seconds = watch.ElapsedSeconds();
   result.enumerated = core.stats().enumerated_cmds;
-  result.timed_out = core.stats().timed_out;
+  result.abort_cause = ToAbortCause(core.stats().abort_cause);
+  result.timed_out = core.stats().timed_out &&
+                     result.abort_cause != AbortCause::kDeadline;
   result.memo_entries = core.stats().memo_entries;
   result.memo_hits = core.stats().memo_hits;
   result.memo_misses = core.stats().memo_misses;

@@ -43,17 +43,27 @@ class MscSearch {
     result.plan = best_;
     result.seconds = watch.ElapsedSeconds();
     result.enumerated = plans_enumerated_;
-    result.timed_out = aborted_;
+    result.abort_cause = abort_cause_;
+    result.timed_out =
+        aborted_ && abort_cause_ != AbortCause::kDeadline;
     result.algorithm_used = Algorithm::kMsc;
     return result;
   }
 
  private:
-  bool Deadline() {
+  // Abort probe, run between enumeration steps. MSC is naturally
+  // degradation-friendly: it keeps the best complete flat plan found so
+  // far, so every abort cause still yields a valid plan once the first
+  // cover completes (O(|E|) work).
+  bool Aborting() {
     if (aborted_) return true;
-    if (stopwatch_.ElapsedSeconds() > options_.timeout_seconds ||
-        plans_enumerated_ >= options_.msc_plan_cap) {
+    if (options_.deadline.Expired()) {
       aborted_ = true;
+      abort_cause_ = AbortCause::kDeadline;
+    } else if (stopwatch_.ElapsedSeconds() > options_.timeout_seconds ||
+               plans_enumerated_ >= options_.msc_plan_cap) {
+      aborted_ = true;
+      abort_cause_ = AbortCause::kTimeout;
     }
     return aborted_;
   }
@@ -100,7 +110,7 @@ class MscSearch {
                           std::vector<int>* chosen,
                           std::unordered_set<std::uint64_t>* seen,
                           FoundFn&& found) {
-    if (Deadline()) return;
+    if (Aborting()) return;
     if (uncovered.Empty()) {
       // Canonical signature: sorted clique indexes packed 8 bits each
       // (levels never need more than 8 cliques at 64 relations... they can,
@@ -164,7 +174,7 @@ class MscSearch {
   }
 
   void RecurseLevels(const std::vector<Relation>& rels) {
-    if (Deadline()) return;
+    if (Aborting()) return;
     if (rels.size() == 1) {
       ++plans_enumerated_;
       if (!best_ || rels[0].plan->total_cost < best_->total_cost) {
@@ -186,7 +196,7 @@ class MscSearch {
                         any = true;
                         ApplyCover(rels, cliques, cover);
                       });
-      if (any || Deadline()) break;
+      if (any || Aborting()) break;
     }
   }
 
@@ -199,6 +209,7 @@ class MscSearch {
   PlanNodePtr best_;
   std::uint64_t plans_enumerated_ = 0;
   bool aborted_ = false;
+  AbortCause abort_cause_ = AbortCause::kNone;
 };
 
 }  // namespace

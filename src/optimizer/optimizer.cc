@@ -52,6 +52,10 @@ void PublishMetrics(const OptimizeResult& result) {
   reg.counter("optimizer.local_short_circuits")
       .Add(result.local_short_circuits);
   if (result.timed_out) reg.counter("optimizer.timeouts").Add(1);
+  if (result.abort_cause == AbortCause::kDeadline) {
+    reg.counter("optimizer.deadline_aborts").Add(1);
+  }
+  if (result.fell_back_to_msc) reg.counter("optimizer.msc_fallbacks").Add(1);
   reg.histogram("optimizer.seconds").Observe(result.seconds);
   if (result.workers > 1 && result.seconds > 0) {
     reg.gauge("optimizer.worker_utilization")
@@ -60,6 +64,16 @@ void PublishMetrics(const OptimizeResult& result) {
 }
 
 }  // namespace
+
+std::string ToString(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kNone: return "none";
+    case AbortCause::kTimeout: return "timeout";
+    case AbortCause::kMemoCap: return "memo_cap";
+    case AbortCause::kDeadline: return "deadline";
+  }
+  return "?";
+}
 
 std::string ToString(Algorithm algorithm) {
   switch (algorithm) {
@@ -81,6 +95,21 @@ OptimizeResult Optimize(Algorithm algorithm, const OptimizerInputs& inputs,
   PARQO_CHECK(inputs.estimator != nullptr);
   TraceSpan span("optimize/" + ToString(algorithm), "optimizer");
   OptimizeResult result = Dispatch(algorithm, inputs, options);
+  if (result.plan == nullptr &&
+      result.abort_cause == AbortCause::kDeadline) {
+    // The deadline fired before the enumerator completed any plan. The
+    // caller still needs something executable, so degrade to the MSC flat
+    // plan: its first cover completes in O(|E|) work per level, which is
+    // effectively instant at the scale where a deadline can fire mid-run.
+    // The (expired) deadline is lifted for the fallback — re-applying it
+    // would abort MSC before its first plan too.
+    OptimizeOptions fallback = options;
+    fallback.deadline = Deadline::Infinite();
+    OptimizeResult msc = RunMsc(inputs, fallback);
+    result.plan = msc.plan;
+    result.seconds += msc.seconds;
+    result.fell_back_to_msc = result.plan != nullptr;
+  }
   if (options.validate && result.plan != nullptr) {
     // Algorithm-specific wiring already validated divisions and memo
     // state mid-run; this is the uniform final gate every algorithm

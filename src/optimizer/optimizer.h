@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "partition/local_query_index.h"
@@ -54,8 +55,17 @@ struct OptimizerInputs {
 struct OptimizeOptions {
   CostParams cost_params;
   /// Wall-clock budget, after which the algorithm gives up (the paper caps
-  /// runs at 600 s in Section V-C).
+  /// runs at 600 s in Section V-C). A timed-out run returns a null plan.
   double timeout_seconds = 600.0;
+
+  /// Hard wall-clock deadline (default: none). Unlike the timeout, expiry
+  /// degrades gracefully instead of failing: the TD-CMD family returns the
+  /// best complete plan memoized so far, and when none exists Optimize()
+  /// falls back to MSC (O(|E|) per level, effectively instant), so the
+  /// caller always gets a valid executable plan. The cause is recorded in
+  /// OptimizeResult::abort_cause / fell_back_to_msc. With no deadline set
+  /// results are bit-identical to a build without this feature.
+  Deadline deadline = Deadline::Infinite();
 
   /// Intra-query enumeration workers for the TD-CMD family (root-level
   /// cmds fanned out over a shared memo; see td_cmd_core.h). 1 runs the
@@ -87,12 +97,25 @@ struct OptimizeOptions {
   std::uint64_t msc_plan_cap = 200000;
 };
 
+/// Why an optimizer run stopped early (kNone: it ran to completion).
+/// Mirrors the enumerator-internal TdAbortCause; kDeadline additionally
+/// applies to MSC, which checks the same deadline between cover levels.
+enum class AbortCause { kNone, kTimeout, kMemoCap, kDeadline };
+
+std::string ToString(AbortCause cause);
+
 struct OptimizeResult {
   PlanNodePtr plan;  ///< Null if the algorithm timed out before any plan.
   double seconds = 0;
   /// Search-space size: join operators / plans enumerated (Table VII).
   std::uint64_t enumerated = 0;
   bool timed_out = false;
+  /// Why the run stopped early; kDeadline with a non-null plan means the
+  /// plan is the degraded best-effort result, not the space's optimum.
+  AbortCause abort_cause = AbortCause::kNone;
+  /// True when the deadline expired before any complete plan existed and
+  /// Optimize() substituted the MSC flat plan.
+  bool fell_back_to_msc = false;
   /// The algorithm that actually ran (differs from the request for
   /// kTdAuto, which reports its decision-tree choice).
   Algorithm algorithm_used = Algorithm::kTdCmd;

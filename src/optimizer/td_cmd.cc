@@ -36,7 +36,7 @@ OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
       /*is_local=*/
       [&](TpSet q) { return inputs.local_index->IsLocal(q); },
       /*local_plan=*/[&](TpSet q) { return builder.LocalJoinAll(q); },
-      options.timeout_seconds);
+      options.timeout_seconds, options.deadline);
   PlanNodePtr plan;
   if (options.num_threads > 1) {
     ThreadPool& pool = options.thread_pool != nullptr ? *options.thread_pool
@@ -62,7 +62,11 @@ OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
   result.plan = plan;
   result.seconds = watch.ElapsedSeconds();
   result.enumerated = core.stats().enumerated_cmds;
-  result.timed_out = core.stats().timed_out;
+  result.abort_cause = ToAbortCause(core.stats().abort_cause);
+  // Deadline expiry degrades (plan kept / MSC fallback) rather than
+  // failing, so it is not reported as a timeout.
+  result.timed_out = core.stats().timed_out &&
+                     result.abort_cause != AbortCause::kDeadline;
   result.algorithm_used = Algorithm::kTdCmd;
   result.memo_entries = core.stats().memo_entries;
   result.memo_hits = core.stats().memo_hits;

@@ -19,6 +19,17 @@ OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
                                  const OptimizeOptions& options,
                                  const TdCmdRules& rules);
 
+/// Maps the enumerator-internal abort cause onto the public one.
+inline AbortCause ToAbortCause(TdAbortCause cause) {
+  switch (cause) {
+    case TdAbortCause::kNone: return AbortCause::kNone;
+    case TdAbortCause::kTimeout: return AbortCause::kTimeout;
+    case TdAbortCause::kMemoCap: return AbortCause::kMemoCap;
+    case TdAbortCause::kDeadline: return AbortCause::kDeadline;
+  }
+  return AbortCause::kNone;
+}
+
 }  // namespace parqo
 
 #endif  // PARQO_OPTIMIZER_TD_CMD_H_

@@ -70,9 +70,12 @@ struct TdCmdRules {
   bool validate = false;
 };
 
-/// Why an enumeration run gave up (stats only; both are reported as
-/// timed_out to callers, matching the paper's single 600 s cutoff).
-enum class TdAbortCause { kNone, kTimeout, kMemoCap };
+/// Why an enumeration run gave up. kTimeout and kMemoCap are reported as
+/// timed_out with a null plan, matching the paper's single 600 s cutoff.
+/// kDeadline (OptimizeOptions::deadline, a hard wall-clock budget) instead
+/// degrades gracefully: the run returns the best *complete* plan derived
+/// so far, which callers may further back stop with MSC.
+enum class TdAbortCause { kNone, kTimeout, kMemoCap, kDeadline };
 
 struct TdCmdStats {
   std::uint64_t enumerated_cmds = 0;  ///< Table VII's search-space size.
@@ -101,16 +104,20 @@ class TdCmdCore {
   /// builds its one-operator local plan (|s| >= 2).
   TdCmdCore(const Graph& graph, const PlanBuilder& builder, TdCmdRules rules,
             LeafPlanFn leaf_plan, IsLocalFn is_local, LocalPlanFn local_plan,
-            double timeout_seconds = 600.0)
+            double timeout_seconds = 600.0,
+            Deadline deadline = Deadline::Infinite())
       : graph_(graph),
         builder_(builder),
         rules_(rules),
         leaf_plan_(std::move(leaf_plan)),
         is_local_(std::move(is_local)),
         local_plan_(std::move(local_plan)),
-        timeout_seconds_(timeout_seconds) {}
+        timeout_seconds_(timeout_seconds),
+        deadline_(deadline) {}
 
-  /// Optimizes the full query single-threaded. Returns nullptr on timeout.
+  /// Optimizes the full query single-threaded. Returns nullptr on timeout;
+  /// on deadline expiry returns the best complete plan found so far
+  /// (possibly null when the deadline fired before any plan completed).
   PlanNodePtr Run() {
     stopwatch_.Restart();
     ResetRunState();
@@ -120,7 +127,7 @@ class TdCmdCore {
     stats_.memo_entries = memo_.size();
     FlushCtx(ctx);
     FinishStats();
-    return Aborted() ? nullptr : plan;
+    return KeepPlanOnAbort() ? plan : nullptr;
   }
 
   /// Optimizes the full query with up to `num_threads` workers drawn from
@@ -165,6 +172,9 @@ class TdCmdCore {
       stats_.enumerated_cmds = root_ctx.enumerated;
       FlushCtx(root_ctx);
       FinishStats();
+      // Deadline expiry during root materialization mirrors the
+      // sequential path, whose root scan is seeded with the local plan.
+      if (KeepPlanOnAbort() && root_local) return local_plan_(all);
       return nullptr;
     }
 
@@ -269,7 +279,7 @@ class TdCmdCore {
     stats_.chunks = num_chunks;
     FlushCtx(root_ctx);
     FinishStats();
-    return Aborted() ? nullptr : best.plan;
+    return KeepPlanOnAbort() ? best.plan : nullptr;
   }
 
   const TdCmdStats& stats() const { return stats_; }
@@ -306,6 +316,18 @@ class TdCmdCore {
   };
 
   bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
+
+  /// Whether an end-of-run plan may be returned to the caller. Timeout and
+  /// memo-cap aborts discard it (pre-deadline semantics, bit-identical for
+  /// callers that never set a deadline); a deadline abort keeps the best
+  /// complete plan. Candidates only ever enter `best` after all children
+  /// derived cleanly (the enumeration loops re-probe Aborted() after every
+  /// child), so a kept plan is always complete and correctly costed.
+  bool KeepPlanOnAbort() const {
+    if (!Aborted()) return true;
+    return abort_cause_.load(std::memory_order_relaxed) ==
+           static_cast<int>(TdAbortCause::kDeadline);
+  }
 
   /// Folds a worker's (or the sequential run's) counters into the shared
   /// accumulators. Called once per chunk/run, never on the hot path.
@@ -347,6 +369,12 @@ class TdCmdCore {
       std::size_t memo_size =
           kParallel ? memo_size_.load(std::memory_order_relaxed)
                     : memo_.size();
+      if (deadline_.Expired()) {
+        abort_cause_.store(static_cast<int>(TdAbortCause::kDeadline),
+                           std::memory_order_relaxed);
+        aborted_.store(true, std::memory_order_relaxed);
+        return false;
+      }
       if (stopwatch_.ElapsedSeconds() > timeout_seconds_) {
         abort_cause_.store(static_cast<int>(TdAbortCause::kTimeout),
                            std::memory_order_relaxed);
@@ -461,6 +489,7 @@ class TdCmdCore {
   IsLocalFn is_local_;
   LocalPlanFn local_plan_;
   double timeout_seconds_;
+  Deadline deadline_;
 
   Stopwatch stopwatch_;
   std::atomic<bool> aborted_{false};

@@ -1,13 +1,17 @@
-// Tests for the common utilities: strings, Status/Result, Rng.
+// Tests for the common utilities: strings, Status/Result, Rng, the
+// steady-clock Deadline, and the fault layer's Retry policy.
 
 #include <gtest/gtest.h>
 
 #include <cfloat>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 
 namespace parqo {
@@ -203,6 +207,151 @@ TEST(RngTest, SkewFavorsSmallIndexes) {
     if (v >= 90) ++high;
   }
   EXPECT_GT(low, high * 3);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(Deadline::Infinite().IsInfinite());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  Deadline d = Deadline::AfterSeconds(0);
+  EXPECT_FALSE(d.IsInfinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), 0.0);  // clamped, never negative
+}
+
+TEST(DeadlineTest, GenerousBudgetIsAlive) {
+  Deadline d = Deadline::AfterSeconds(3600);
+  EXPECT_FALSE(d.Expired());
+  double remaining = d.RemainingSeconds();
+  EXPECT_GT(remaining, 3500.0);
+  EXPECT_LE(remaining, 3600.0);
+}
+
+TEST(RetryTest, ZeroAttemptsForbidsEvenTheFirstTry) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  Retry retry(policy, /*seed=*/1);
+  EXPECT_FALSE(retry.ShouldRetry());
+  EXPECT_EQ(retry.attempts_started(), 0);
+}
+
+TEST(RetryTest, BudgetExhaustsAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Retry retry(policy, /*seed=*/1);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(retry.ShouldRetry());
+    EXPECT_EQ(retry.BeginAttempt(), i);
+  }
+  EXPECT_FALSE(retry.ShouldRetry());
+  EXPECT_EQ(retry.attempts_started(), 3);
+}
+
+TEST(RetryTest, ExpiredDeadlineForbidsAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  Retry retry(policy, /*seed=*/1, Deadline::AfterSeconds(0));
+  EXPECT_FALSE(retry.ShouldRetry());
+  // And the backoff collapses to the deadline's (zero) remainder.
+  EXPECT_EQ(retry.NextBackoffSeconds(), 0.0);
+}
+
+TEST(RetryTest, BackoffSaturatesAtMaxWithoutOverflow) {
+  RetryPolicy policy;
+  policy.max_attempts = 200;
+  policy.initial_backoff_seconds = 1e-3;
+  policy.max_backoff_seconds = 0.5;
+  policy.backoff_multiplier = 1e100;  // would overflow to inf if grown
+  policy.jitter_fraction = 0.0;
+  Retry retry(policy, /*seed=*/5);
+  EXPECT_EQ(retry.NextBackoffSeconds(), 1e-3);
+  for (int i = 0; i < 100; ++i) {
+    double wait = retry.NextBackoffSeconds();
+    EXPECT_TRUE(std::isfinite(wait));
+    EXPECT_EQ(wait, policy.max_backoff_seconds);
+  }
+}
+
+TEST(RetryTest, JitterStaysWithinFractionAndNeverExceedsMax) {
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff_seconds = 0.010;
+  policy.max_backoff_seconds = 0.010;  // constant base isolates jitter
+  policy.backoff_multiplier = 1.0;
+  policy.jitter_fraction = 0.25;
+  Retry retry(policy, /*seed=*/77);
+  for (int i = 0; i < 500; ++i) {
+    double wait = retry.NextBackoffSeconds();
+    EXPECT_GE(wait, 0.010 * 0.75 - 1e-12);
+    EXPECT_LE(wait, 0.010);  // clamped at max even with +25% jitter
+  }
+}
+
+TEST(RetryTest, JitterIsDeterministicUnderFixedSeed) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.001;
+  policy.max_attempts = 50;
+  Retry a(policy, /*seed=*/123), b(policy, /*seed=*/123);
+  bool any_difference_from_other_seed = false;
+  Retry c(policy, /*seed=*/124);
+  for (int i = 0; i < 20; ++i) {
+    double wa = a.NextBackoffSeconds();
+    EXPECT_EQ(wa, b.NextBackoffSeconds());
+    if (wa != c.NextBackoffSeconds()) any_difference_from_other_seed = true;
+  }
+  EXPECT_TRUE(any_difference_from_other_seed);
+}
+
+TEST(FaultPlanTest, CrashFiresExactlyOnce) {
+  FaultPlan plan(2);
+  plan.CrashNodeAtOp(0, 2);
+  EXPECT_TRUE(plan.BeginNodeOp(0));   // op 0
+  EXPECT_TRUE(plan.BeginNodeOp(0));   // op 1
+  EXPECT_FALSE(plan.BeginNodeOp(0));  // op 2: fires
+  EXPECT_TRUE(plan.BeginNodeOp(0));   // consumed; recovery not re-killed
+  EXPECT_TRUE(plan.BeginNodeOp(1));   // other node untouched
+  EXPECT_EQ(plan.crashes_fired(), 1u);
+}
+
+TEST(FaultPlanTest, ScopeInstallsAndRestores) {
+  EXPECT_EQ(ActiveFaultPlan(), nullptr);
+  FaultPlan outer(1), inner(1);
+  {
+    FaultScope a(&outer);
+    EXPECT_EQ(ActiveFaultPlan(), &outer);
+    {
+      FaultScope b(&inner);
+      EXPECT_EQ(ActiveFaultPlan(), &inner);
+    }
+    EXPECT_EQ(ActiveFaultPlan(), &outer);
+  }
+  EXPECT_EQ(ActiveFaultPlan(), nullptr);
+}
+
+TEST(FaultPlanTest, DropRateIsSeededAndRoughlyBernoulli) {
+  FaultPlan plan(1);
+  plan.DropShipments(0.3, /*seed=*/9);
+  int dropped = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!plan.DeliverShipment()) ++dropped;
+  }
+  EXPECT_EQ(plan.drops_fired(), static_cast<std::uint64_t>(dropped));
+  EXPECT_GT(dropped, 2500);
+  EXPECT_LT(dropped, 3500);
+
+  FaultPlan replay(1);
+  replay.DropShipments(0.3, /*seed=*/9);
+  int replay_dropped = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!replay.DeliverShipment()) ++replay_dropped;
+  }
+  EXPECT_EQ(dropped, replay_dropped);
 }
 
 }  // namespace

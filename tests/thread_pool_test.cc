@@ -63,6 +63,7 @@ TEST(ThreadPoolTest, SubmitRacingDestructionNeverDropsPreDtorTasks) {
         std::this_thread::yield();
       }
     });
+    // parqo-lint: allow(naked-sleep) let the producer race for a bounded 1ms
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     stop.store(true, std::memory_order_release);
     producer.join();  // all Submits complete before destruction starts
@@ -162,6 +163,7 @@ TEST(ThreadPoolTest, ParallelForFromInsideSubmittedTask) {
   });
   // Bounded wait so a deadlock fails the test instead of hanging ctest.
   for (int i = 0; i < 2000 && !done.load(std::memory_order_acquire); ++i) {
+    // parqo-lint: allow(naked-sleep) bounded 2s poll; deadlock fails, not hangs
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_TRUE(done.load());

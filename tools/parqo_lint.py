@@ -28,6 +28,16 @@ Four rule families, each guarding an invariant the compiler cannot see:
                         write is a data race TSan only catches when the
                         interleaving cooperates.
 
+  naked-sleep           Sleeps (sleep/usleep/nanosleep/sleep_for/
+                        sleep_until) and predicate-less condition-variable
+                        waits outside src/common/fault.*. All simulated
+                        waiting is owned by parqo::SleepSeconds so fault
+                        injection and retry backoff stay deterministic and
+                        bounded; a stray sleep elsewhere is either a hidden
+                        timing dependence (flaky test) or an unbounded hang
+                        the chaos harness cannot detect. Waits must carry a
+                        predicate (cv.wait(lock, pred)) or a timeout.
+
 Suppression: append "// parqo-lint: allow(<rule>) <reason>" to the offending
 line, or put it on the line directly above. The reason is mandatory —
 an allow() without one is itself a finding.
@@ -77,6 +87,12 @@ METRIC_GLOBAL_RE = re.compile(
     r"^\s*(?:static\s+)?(?:double|float|int|long|unsigned|std::u?int\d+_t|"
     r"u?int\d+_t|std::size_t|size_t)\s+g?_?\w*(?:metric|counter)\w*\s*[={;]"
 )
+SLEEP_RE = re.compile(
+    r"\b(?:sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\("
+)
+CV_WAIT_RE = re.compile(r"[.>]\s*wait\s*\(")
+# The one sanctioned wait implementation (see SleepSeconds).
+SLEEP_EXEMPT_FILES = {"src/common/fault.h", "src/common/fault.cc"}
 
 
 def range_for_sequence(code):
@@ -218,6 +234,7 @@ class Linter:
         self.check_naked_new(rel, code_lines, allowed)
         self.check_std_function(rel, code_lines, allowed)
         self.check_metric_writes(rel, code_lines, allowed)
+        self.check_naked_sleep(rel, code_lines, allowed)
 
     def check_unordered_iteration(self, rel, code_lines, allowed):
         rule = "unordered-iteration"
@@ -293,6 +310,45 @@ class Linter:
             if msg is None or allowed(lineno, rule):
                 continue
             self.report(rel, lineno, rule, msg)
+
+    def check_naked_sleep(self, rel, code_lines, allowed):
+        rule = "naked-sleep"
+        if rel in SLEEP_EXEMPT_FILES:
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            msg = None
+            if SLEEP_RE.search(code):
+                msg = ("naked sleep: route all waiting through "
+                       "parqo::SleepSeconds (src/common/fault.cc) so fault "
+                       "injection and retry backoff stay deterministic")
+            else:
+                m = CV_WAIT_RE.search(code)
+                if m and self._wait_is_unbounded(code, m.end() - 1):
+                    msg = ("predicate-less condition-variable wait: pass a "
+                           "predicate (cv.wait(lock, pred)) or use a "
+                           "bounded wait_for/wait_until")
+            if msg is None or allowed(lineno, rule):
+                continue
+            self.report(rel, lineno, rule, msg)
+
+    @staticmethod
+    def _wait_is_unbounded(code, open_paren):
+        """True when the wait(...) starting at `open_paren` has exactly one
+        argument (no predicate) on this line. Multi-line argument lists end
+        in a comma or an unclosed paren and are conservatively skipped."""
+        depth = 0
+        commas = 0
+        for i in range(open_paren, len(code)):
+            c = code[i]
+            if c in "([":
+                depth += 1
+            elif c in ")]":
+                depth -= 1
+                if depth == 0:
+                    return commas == 0
+            elif c == "," and depth == 1:
+                commas += 1
+        return False
 
 
 def main(argv):

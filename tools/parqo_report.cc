@@ -371,6 +371,30 @@ int main(int argc, char** argv) {
   std::printf("  traffic check: per-node sums %s executor totals\n",
               sums_ok ? "match" : "DO NOT match");
 
+  // Only populated when the run executed under a FaultScope (the scalar
+  // totals above count successful deliveries only, so the traffic check
+  // holds even through recovery — that is the reconciliation invariant).
+  if (metrics.recovery_attempts > 0 || !metrics.degraded_nodes.empty() ||
+      metrics.shipments_dropped > 0) {
+    std::printf("\n== recovery ==\n");
+    std::printf("  retry attempts     %s\n",
+                WithThousandsSep(metrics.recovery_attempts).c_str());
+    std::printf("  ops re-executed    %s\n",
+                WithThousandsSep(metrics.operators_reexecuted).c_str());
+    std::printf("  rows re-shipped    %s\n",
+                WithThousandsSep(metrics.rows_reshipped).c_str());
+    std::printf("  shipments dropped  %s\n",
+                WithThousandsSep(metrics.shipments_dropped).c_str());
+    std::string degraded;
+    for (int node : metrics.degraded_nodes) {
+      if (!degraded.empty()) degraded += ", ";
+      degraded += std::to_string(node);
+    }
+    std::printf("  degraded nodes     %zu%s%s\n",
+                metrics.degraded_nodes.size(),
+                degraded.empty() ? "" : ": ", degraded.c_str());
+  }
+
   if (!opts.json_path.empty()) {
     std::string json = MetricsRegistry::Global().Snapshot().ToJson();
     if (!WriteFile(opts.json_path, json + "\n")) {
