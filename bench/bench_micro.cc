@@ -7,8 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/fault.h"
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "exec/binding_table.h"
@@ -151,9 +156,9 @@ void BM_TdCmdHooksFunctor(benchmark::State& state) {
   for (auto _ : state) {
     TdCmdCore core(
         fx.jg, fx.builder, TdCmdRules{},
-        [&](int tp) { return fx.builder.Scan(tp); },
+        [&](Arena& a, int tp) { return fx.builder.ScanIn(a, tp); },
         [&](TpSet s) { return fx.index.IsLocal(s); },
-        [&](TpSet s) { return fx.builder.LocalJoinAll(s); });
+        [&](Arena& a, TpSet s) { return fx.builder.LocalJoinAllIn(a, s); });
     benchmark::DoNotOptimize(core.Run());
   }
 }
@@ -161,21 +166,156 @@ BENCHMARK(BM_TdCmdHooksFunctor)->Arg(16)->Arg(30);
 
 void BM_TdCmdHooksStdFunction(benchmark::State& state) {
   TdCmdHookFixture fx(static_cast<int>(state.range(0)));
-  std::function<PlanNodePtr(int)> leaf = [&](int tp) {
-    return fx.builder.Scan(tp);
-  };
+  std::function<const PlanCandidate*(Arena&, int)> leaf =
+      [&](Arena& a, int tp) { return fx.builder.ScanIn(a, tp); };
   std::function<bool(TpSet)> is_local = [&](TpSet s) {
     return fx.index.IsLocal(s);
   };
-  std::function<PlanNodePtr(TpSet)> local = [&](TpSet s) {
-    return fx.builder.LocalJoinAll(s);
-  };
+  std::function<const PlanCandidate*(Arena&, TpSet)> local =
+      [&](Arena& a, TpSet s) { return fx.builder.LocalJoinAllIn(a, s); };
   for (auto _ : state) {
     TdCmdCore core(fx.jg, fx.builder, TdCmdRules{}, leaf, is_local, local);
     benchmark::DoNotOptimize(core.Run());
   }
 }
 BENCHMARK(BM_TdCmdHooksStdFunction)->Arg(16)->Arg(30);
+
+// Allocation strategy of the enumeration hot path (DESIGN.md §12): the
+// cost of one discarded binary-join candidate, which is what Algorithm 1
+// churns per considered division. BM_ArenaAlloc prices the arena node —
+// a bump allocation with the two children stored inline (plus a Reset
+// every 4096 nodes, the steady state of a chunked run). BM_SharedPtrAlloc
+// prices what the enumeration used to do: make_shared the node and give
+// it a heap-backed two-element children vector, all torn back down
+// through refcounts when the candidate loses. The arena side must stay
+// comfortably >= 2x faster.
+void BM_ArenaAlloc(benchmark::State& state) {
+  Arena arena;
+  const PlanCandidate leaf{};
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    PlanCandidate* c = arena.New<PlanCandidate>();
+    c->kind = PlanNode::Kind::kJoin;
+    c->num_children = 2;
+    c->inline_children[0] = &leaf;
+    c->inline_children[1] = &leaf;
+    benchmark::DoNotOptimize(c);
+    if ((++n & 4095) == 0) arena.Reset();
+  }
+}
+BENCHMARK(BM_ArenaAlloc);
+
+void BM_SharedPtrAlloc(benchmark::State& state) {
+  const PlanNodePtr leaf = std::make_shared<PlanNode>();
+  for (auto _ : state) {
+    auto node = std::make_shared<PlanNode>();
+    node->kind = PlanNode::Kind::kJoin;
+    node->children = {leaf, leaf};
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_SharedPtrAlloc);
+
+// End-to-end candidate churn: per iteration, build the scans of an
+// n-pattern chain and fold them into a left-deep join tree, then throw
+// the whole tree away — the per-division work Algorithm 1 repeats
+// millions of times on a dense query. The arena variant resets between
+// iterations; the shared_ptr variant frees the tree through refcounts.
+// The estimator is warm in both, so the delta is pure allocation.
+void BM_CandidateChurnArena(benchmark::State& state) {
+  TdCmdHookFixture fx(static_cast<int>(state.range(0)));
+  fx.est.Cardinality(fx.jg.AllTps());  // warm the estimator memo
+  Arena arena;
+  for (auto _ : state) {
+    arena.Reset();
+    const PlanCandidate* acc = fx.builder.ScanIn(arena, 0);
+    for (int tp = 1; tp < fx.jg.num_tps(); ++tp) {
+      const PlanCandidate* children[2] = {acc,
+                                          fx.builder.ScanIn(arena, tp)};
+      acc = fx.builder.JoinIn(arena, JoinMethod::kRepartition,
+                              fx.jg.SharedJoinVars(acc->tps,
+                                                   TpSet::Singleton(tp))[0],
+                              children);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CandidateChurnArena)->Arg(8)->Arg(16);
+
+void BM_CandidateChurnSharedPtr(benchmark::State& state) {
+  TdCmdHookFixture fx(static_cast<int>(state.range(0)));
+  fx.est.Cardinality(fx.jg.AllTps());
+  for (auto _ : state) {
+    PlanNodePtr acc = fx.builder.Scan(0);
+    for (int tp = 1; tp < fx.jg.num_tps(); ++tp) {
+      VarId vj =
+          fx.jg.SharedJoinVars(acc->tps, TpSet::Singleton(tp))[0];
+      acc = fx.builder.Join(JoinMethod::kRepartition, vj,
+                            {acc, fx.builder.Scan(tp)});
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CandidateChurnSharedPtr)->Arg(8)->Arg(16);
+
+// Memo-probe cost: the flat open-addressed table against the
+// unordered_map it replaced, both preloaded with every connected subchain
+// of an n-pattern chain (the key distribution a real memo sees) and
+// probed with a 75% hit / 25% miss mix.
+std::vector<TpSet> MemoProbeKeys(int n) {
+  std::vector<TpSet> keys;
+  for (int lo = 0; lo < n; ++lo) {
+    TpSet s;
+    for (int hi = lo; hi < n; ++hi) {
+      s.Add(hi);
+      keys.push_back(s);
+    }
+  }
+  return keys;
+}
+
+std::vector<TpSet> MemoProbeMix(const std::vector<TpSet>& keys, int n) {
+  Rng rng(42);
+  std::vector<TpSet> probes;
+  for (int i = 0; i < 256; ++i) {
+    if (rng.Uniform(0, 3) == 0) {
+      // Guaranteed miss: bit n is never set in a stored key.
+      probes.push_back(TpSet(rng.Next() | (std::uint64_t{1} << n)));
+    } else {
+      probes.push_back(
+          keys[rng.Uniform(0, static_cast<int>(keys.size()) - 1)]);
+    }
+  }
+  return probes;
+}
+
+void BM_FlatMemoProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<TpSet> keys = MemoProbeKeys(n);
+  const PlanCandidate dummy{};
+  FlatTpSetMap<const PlanCandidate*> map;
+  for (TpSet k : keys) map.EmplaceFirstWins(k, &dummy);
+  std::vector<TpSet> probes = MemoProbeMix(keys, n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_FlatMemoProbe)->Arg(16)->Arg(30);
+
+void BM_UnorderedMemoProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<TpSet> keys = MemoProbeKeys(n);
+  const PlanCandidate dummy{};
+  std::unordered_map<TpSet, const PlanCandidate*, TpSetHash> map;
+  for (TpSet k : keys) map.emplace(k, &dummy);
+  std::vector<TpSet> probes = MemoProbeMix(keys, n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_UnorderedMemoProbe)->Arg(16)->Arg(30);
 
 // Cost of one counter update with collection off vs. on. The metrics
 // contract (see common/metrics.h) is that a disabled update is a relaxed

@@ -1,0 +1,61 @@
+#include "common/arena.h"
+
+#include <cstdint>
+
+namespace parqo {
+
+Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {
+  PARQO_CHECK(block_bytes_ > 0);
+}
+
+Arena::~Arena() {
+  // ASan requires regions to be unpoisoned before the underlying memory
+  // is returned to the allocator.
+  for (Block& b : blocks_) PARQO_ARENA_UNPOISON(b.data.get(), b.size);
+}
+
+void Arena::NextBlock(std::size_t size) {
+  // Reuse the next retained block that fits; skipped blocks (too small
+  // for an oversize request) simply stay unused until the next Reset.
+  std::size_t i = blocks_.empty() ? 0 : current_ + 1;
+  while (i < blocks_.size() && blocks_[i].size < size) ++i;
+  if (i == blocks_.size()) {
+    Block b;
+    b.size = size > block_bytes_ ? size : block_bytes_;
+    b.data = std::make_unique<char[]>(b.size);
+    bytes_reserved_ += b.size;
+    PARQO_ARENA_POISON(b.data.get(), b.size);
+    blocks_.push_back(std::move(b));
+  }
+  current_ = i;
+  ptr_ = blocks_[i].data.get();
+  end_ = ptr_ + blocks_[i].size;
+}
+
+void* Arena::AllocateSlow(std::size_t size, std::size_t align) {
+  // A fresh block is max_align-aligned by operator new for any sane
+  // `align`; re-derive the aligned pointer from it.
+  NextBlock(size + align + kRedzone);
+  std::uintptr_t p = reinterpret_cast<std::uintptr_t>(ptr_);
+  std::uintptr_t aligned = (p + align - 1) & ~(std::uintptr_t{align} - 1);
+  std::size_t needed = (aligned - p) + size + kRedzone;
+  ptr_ += needed;
+  bytes_used_ += size;
+  void* out = reinterpret_cast<void*>(aligned);
+  PARQO_ARENA_UNPOISON(out, size);
+  return out;
+}
+
+void Arena::Reset() {
+  for (Block& b : blocks_) PARQO_ARENA_POISON(b.data.get(), b.size);
+  current_ = 0;
+  bytes_used_ = 0;
+  if (blocks_.empty()) {
+    ptr_ = end_ = nullptr;
+  } else {
+    ptr_ = blocks_[0].data.get();
+    end_ = ptr_ + blocks_[0].size;
+  }
+}
+
+}  // namespace parqo

@@ -1,0 +1,79 @@
+// Depth-indexed pool of reusable scratch vectors.
+//
+// The enumeration recursion (Algorithms 1-3) needs a handful of temporary
+// vectors per level — the cmd part stack, the cbd component lists, the
+// per-division child plans. Allocating them per call costs a malloc/free
+// pair per enumerated division; pooling them per worker makes the steady
+// state allocation-free: Acquire() hands back the vector used the last
+// time the recursion was at this depth, cleared but with its capacity
+// intact.
+//
+// Usage is strictly LIFO (enforced by the RAII Lease), which is exactly
+// the shape of a recursive enumeration. Pools are single-threaded; each
+// enumeration worker owns its own (see td_cmd_core.h's Ctx).
+
+#ifndef PARQO_COMMON_SCRATCH_POOL_H_
+#define PARQO_COMMON_SCRATCH_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+
+namespace parqo {
+
+template <typename T>
+class ScratchPool {
+ public:
+  /// RAII handle on one pooled vector; behaves like a vector reference.
+  class Lease {
+   public:
+    explicit Lease(ScratchPool& pool)
+        : pool_(&pool), vec_(&pool.Acquire()) {}
+    ~Lease() { pool_->Release(); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    std::vector<T>& operator*() const { return *vec_; }
+    std::vector<T>* operator->() const { return vec_; }
+    std::vector<T>* get() const { return vec_; }
+
+   private:
+    ScratchPool* pool_;
+    std::vector<T>* vec_;
+  };
+
+  explicit ScratchPool(std::size_t reserve_per_vector = 16)
+      : reserve_(reserve_per_vector) {}
+
+  /// A cleared vector dedicated to the current depth. Valid until the
+  /// matching Release(); releases must be LIFO (use Lease).
+  std::vector<T>& Acquire() {
+    if (depth_ == pool_.size()) {
+      pool_.emplace_back();
+      pool_.back().reserve(reserve_);
+    }
+    std::vector<T>& v = pool_[depth_++];
+    v.clear();
+    return v;
+  }
+
+  void Release() {
+    PARQO_DCHECK(depth_ > 0);
+    --depth_;
+  }
+
+  std::size_t depth() const { return depth_; }
+
+ private:
+  // deque: references handed out by Acquire stay valid while deeper
+  // recursion levels grow the pool.
+  std::deque<std::vector<T>> pool_;
+  std::size_t depth_ = 0;
+  std::size_t reserve_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_COMMON_SCRATCH_POOL_H_

@@ -23,38 +23,59 @@
 #ifndef PARQO_OPTIMIZER_CBD_ENUMERATOR_H_
 #define PARQO_OPTIMIZER_CBD_ENUMERATOR_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/scratch_pool.h"
 #include "common/tp_set.h"
 #include "query/join_graph.h"
 
 namespace parqo {
 
+/// Reusable per-worker scratch for EnumerateCbds. The enumeration needs
+/// one component list per invocation plus one piece list per Lemma-2
+/// extension; without pooling those are a malloc/free pair each, paid on
+/// the hottest recursion of the optimizer (one EnumerateCbds per stacked
+/// cmd part). Single-threaded — each enumeration worker owns its own.
+struct CbdScratch {
+  ScratchPool<TpSet> components;
+  ScratchPool<TpSet> pieces;
+};
+
 /// Enumerates all cbds of `q` on `vj`, invoking `emit(sq1, sq2)` for each;
 /// sq1 is the side containing the anchor (the lowest-index pattern of
 /// N_tp(vj) in q). If `emit` returns false, enumeration stops and this
 /// returns false. Requires: q connected in `graph`, Degree(vj, q) >= 2.
+/// `scratch` (optional) makes the steady state allocation-free; pass the
+/// worker's pool when calling from a hot loop.
 template <typename Graph, typename EmitFn>
-bool EnumerateCbds(const Graph& graph, TpSet q, VarId vj, EmitFn&& emit) {
+bool EnumerateCbds(const Graph& graph, TpSet q, VarId vj, EmitFn&& emit,
+                   CbdScratch* scratch) {
   struct Context {
     const Graph& graph;
     TpSet q;
     VarId vj;
     TpSet neighbors;  // N_tp(vj) & q
     EmitFn& emit;
-    // Line 1: the components C_vj of q with v_j removed, fixed up front.
-    std::vector<TpSet> components;
+    CbdScratch& scratch;
+    // Line 1: the components C_vj of q with v_j removed, fixed up front
+    // (leased from the scratch pool by EnumerateCbds).
+    std::vector<TpSet>* components = nullptr;
     int component_of[TpSet::kMaxSize] = {};
 
     void BuildComponents() {
-      components = graph.ComponentsExcluding(q, vj);
-      for (std::size_t i = 0; i < components.size(); ++i) {
-        for (int tp : components[i]) component_of[tp] = static_cast<int>(i);
+      graph.ComponentsExcluding(q, vj, components);
+      for (std::size_t i = 0; i < components->size(); ++i) {
+        for (int tp : (*components)[i]) {
+          component_of[tp] = static_cast<int>(i);
+        }
       }
     }
 
-    TpSet ComponentAt(int tp) const { return components[component_of[tp]]; }
+    TpSet ComponentAt(int tp) const {
+      return (*components)[component_of[tp]];
+    }
 
     bool Recurse(TpSet sq, TpSet excluded) {
       // Line 3: a full or tainted extension yields no further cbds.
@@ -84,11 +105,13 @@ bool EnumerateCbds(const Graph& graph, TpSet q, VarId vj, EmitFn&& emit) {
           extension = comp;  // Lemma 1: absorb the whole component
         } else {
           // Lemma 2: absorb tp plus every piece of comp \ (sq u {tp})
-          // that no longer touches v_j.
+          // that no longer touches v_j. The piece list is leased, and
+          // released before the recursion below (LIFO).
           extension = TpSet::Singleton(tp);
           TpSet remainder = comp - sq - extension;
-          for (TpSet piece :
-               graph.ComponentsExcluding(remainder, vj)) {
+          ScratchPool<TpSet>::Lease pieces(scratch.pieces);
+          graph.ComponentsExcluding(remainder, vj, pieces.get());
+          for (TpSet piece : *pieces) {
             if ((piece & neighbors).Empty()) extension |= piece;
           }
         }
@@ -99,9 +122,18 @@ bool EnumerateCbds(const Graph& graph, TpSet q, VarId vj, EmitFn&& emit) {
     }
   };
 
-  Context ctx{graph, q, vj, graph.Ntp(vj) & q, emit, {}, {}};
+  ScratchPool<TpSet>::Lease components(scratch->components);
+  Context ctx{graph, q, vj, graph.Ntp(vj) & q, emit, *scratch,
+              components.get()};
   ctx.BuildComponents();
   return ctx.Recurse(TpSet{}, TpSet{});
+}
+
+/// Convenience overload with call-local scratch (tests, one-off callers).
+template <typename Graph, typename EmitFn>
+bool EnumerateCbds(const Graph& graph, TpSet q, VarId vj, EmitFn&& emit) {
+  CbdScratch scratch;
+  return EnumerateCbds(graph, q, vj, std::forward<EmitFn>(emit), &scratch);
 }
 
 }  // namespace parqo

@@ -18,6 +18,7 @@
 #define PARQO_OPTIMIZER_CMD_ENUMERATOR_H_
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -36,20 +37,32 @@ enum class CmdMode {
   kBinaryOnly,
 };
 
+/// Reusable per-worker scratch for EnumerateCmds/EnumerateCmdsOnVar: the
+/// part stack of Algorithm 3 plus the nested cbd enumeration's pools.
+/// One per enumeration worker (see td_cmd_core.h's Ctx); never shared
+/// across threads.
+struct CmdEnumScratch {
+  ScratchPool<TpSet> stack;
+  CbdScratch cbd;
+};
+
 /// Enumerates the multi-divisions of `q` on a single join variable `vj`.
 /// `emit(parts, vj)` receives all k parts; parts are valid only during the
 /// call. Returns false iff an emit callback returned false (abort).
-/// Requires q connected and Degree(vj, q) >= 2.
+/// Requires q connected and Degree(vj, q) >= 2. `scratch` makes repeated
+/// enumeration allocation-free; hot callers pass their worker's pool.
 template <typename Graph, typename EmitFn>
 bool EnumerateCmdsOnVar(const Graph& graph, TpSet q, VarId vj, CmdMode mode,
-                        EmitFn&& emit) {
+                        EmitFn&& emit, CmdEnumScratch* scratch) {
   struct Context {
     const Graph& graph;
     TpSet q;  // the divided (sub)query, for the debug division contract
     VarId vj;
     CmdMode mode;
     EmitFn& emit;
-    std::vector<TpSet> stack;
+    CmdEnumScratch& scratch;
+    // Leased from scratch.stack for the duration of the call.
+    std::vector<TpSet>& stack;
     bool stack_complete = true;  // all stacked parts have exactly 1 neighbor
 
     /// Definition 3 contract of every emitted division, checked in debug
@@ -90,37 +103,61 @@ bool EnumerateCmdsOnVar(const Graph& graph, TpSet q, VarId vj, CmdMode mode,
         // A stacked multi-neighbor part rules out any deeper ccmd.
         return true;
       }
-      return EnumerateCbds(graph, sql, vj, [&](TpSet sq1, TpSet sq2) {
-        if (mode == CmdMode::kCcmdAndBinary && !stack.empty() &&
-            graph.Degree(vj, sq1) != 1) {
-          // This branch could only produce non-complete k>=3 divisions.
-          return true;
-        }
-        bool saved = stack_complete;
-        stack_complete = saved && graph.Degree(vj, sq1) == 1;
-        stack.push_back(sq1);
-        bool ok = Recurse(sq2);
-        stack.pop_back();
-        stack_complete = saved;
-        return ok;
-      });
+      return EnumerateCbds(
+          graph, sql, vj,
+          [&](TpSet sq1, TpSet sq2) {
+            if (mode == CmdMode::kCcmdAndBinary && !stack.empty() &&
+                graph.Degree(vj, sq1) != 1) {
+              // This branch could only produce non-complete k>=3 divisions.
+              return true;
+            }
+            bool saved = stack_complete;
+            stack_complete = saved && graph.Degree(vj, sq1) == 1;
+            stack.push_back(sq1);
+            bool ok = Recurse(sq2);
+            stack.pop_back();
+            stack_complete = saved;
+            return ok;
+          },
+          &scratch.cbd);
     }
   };
 
-  Context ctx{graph, q, vj, mode, emit, {}, true};
+  ScratchPool<TpSet>::Lease stack(scratch->stack);
+  Context ctx{graph, q, vj, mode, emit, *scratch, *stack, true};
   return ctx.Recurse(q);
+}
+
+/// Convenience overload with call-local scratch (tests, one-off callers).
+template <typename Graph, typename EmitFn>
+bool EnumerateCmdsOnVar(const Graph& graph, TpSet q, VarId vj, CmdMode mode,
+                        EmitFn&& emit) {
+  CmdEnumScratch scratch;
+  return EnumerateCmdsOnVar(graph, q, vj, mode,
+                            std::forward<EmitFn>(emit), &scratch);
 }
 
 /// Enumerates D_cmd(q): the multi-divisions of `q` over every join
 /// variable (Algorithm 3's outer loop). Returns false on abort.
 template <typename Graph, typename EmitFn>
-bool EnumerateCmds(const Graph& graph, TpSet q, CmdMode mode,
-                   EmitFn&& emit) {
+bool EnumerateCmds(const Graph& graph, TpSet q, CmdMode mode, EmitFn&& emit,
+                   CmdEnumScratch* scratch) {
   for (VarId vj : graph.join_vars()) {
     if (graph.Degree(vj, q) < 2) continue;
-    if (!EnumerateCmdsOnVar(graph, q, vj, mode, emit)) return false;
+    if (!EnumerateCmdsOnVar(graph, q, vj, mode, emit, scratch)) {
+      return false;
+    }
   }
   return true;
+}
+
+/// Convenience overload with call-local scratch (tests, one-off callers).
+template <typename Graph, typename EmitFn>
+bool EnumerateCmds(const Graph& graph, TpSet q, CmdMode mode,
+                   EmitFn&& emit) {
+  CmdEnumScratch scratch;
+  return EnumerateCmds(graph, q, mode, std::forward<EmitFn>(emit),
+                       &scratch);
 }
 
 }  // namespace parqo

@@ -1,9 +1,12 @@
 #include "optimizer/dp_bushy.h"
 
-#include <unordered_map>
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
+#include "common/flat_map.h"
 #include "common/stopwatch.h"
 #include "optimizer/plan_validator.h"
 
@@ -22,20 +25,21 @@ class DpBushy {
 
   OptimizeResult Run() {
     Stopwatch watch;
-    PlanNodePtr plan = BestPlan(jg_.AllTps());
+    const PlanCandidate* plan = BestPlan(jg_.AllTps());
     if (validate_ && !aborted_ && plan != nullptr) {
       // Same memo contract as the TD-CMD family: only connected,
       // correctly costed subplans keyed by exactly their pattern set.
+      // Candidates are materialized one at a time for the validator.
       PlanValidator validator(jg_, &local_index_, inputs_.estimator,
                               &builder_.cost_model());
-      // parqo-lint: allow(unordered-iteration) order-independent sweep
-      for (const auto& [q, entry] : memo_) {
+      memo_.ForEach([&](TpSet q, const PlanCandidate* entry) {
         PARQO_CHECK(entry != nullptr);
-        PARQO_CHECK_OK(validator.ValidateMemoEntry(q, *entry));
-      }
+        PARQO_CHECK_OK(validator.ValidateMemoEntry(q, *MaterializePlan(*entry)));
+      });
     }
     OptimizeResult result;
-    result.plan = aborted_ ? nullptr : plan;
+    result.plan = (aborted_ || plan == nullptr) ? nullptr
+                                                : MaterializePlan(*plan);
     result.seconds = watch.ElapsedSeconds();
     result.enumerated = ops_enumerated_;
     result.timed_out = aborted_;
@@ -70,11 +74,14 @@ class DpBushy {
     if (best_degree < 3) return false;  // binary splits already cover k=2
 
     TpSet neighbors = jg_.Ntp(best_var) & q;
-    std::vector<TpSet> parts;
+    std::vector<TpSet>& parts = *parts_out;
+    parts.clear();
     for (int tp : neighbors) parts.push_back(TpSet::Singleton(tp));
-    for (TpSet comp : jg_.ComponentsExcluding(q, best_var)) {
+    jg_.ComponentsExcluding(q, best_var, &comps_scratch_);
+    for (TpSet comp : comps_scratch_) {
       TpSet remainder = comp - neighbors;
-      for (TpSet piece : jg_.ComponentsExcluding(remainder, best_var)) {
+      jg_.ComponentsExcluding(remainder, best_var, &pieces_scratch_);
+      for (TpSet piece : pieces_scratch_) {
         TpSet adj = jg_.NeighborsOf(piece) & neighbors;
         if (adj.Empty()) return false;  // piece only reachable via v*
         // Attach to the first adjacent seed part.
@@ -87,30 +94,31 @@ class DpBushy {
       }
     }
     *var_out = best_var;
-    *parts_out = std::move(parts);
     return true;
   }
 
-  PlanNodePtr BestPlan(TpSet q) {
-    auto it = memo_.find(q);
-    if (it != memo_.end()) return it->second;
-    PlanNodePtr best = Generate(q);
-    if (!aborted_) memo_.emplace(q, best);
+  const PlanCandidate* BestPlan(TpSet q) {
+    if (const PlanCandidate* const* hit = memo_.Find(q)) return *hit;
+    const PlanCandidate* best = Generate(q);
+    if (!aborted_) memo_.EmplaceFirstWins(q, best);
     return best;
   }
 
-  PlanNodePtr Generate(TpSet q) {
-    if (q.Count() == 1) return builder_.Scan(q.First());
+  const PlanCandidate* Generate(TpSet q) {
+    if (q.Count() == 1) return builder_.ScanIn(arena_, q.First());
     if (local_index_.IsLocal(q)) {
       // Local subqueries are pushed down to the store as one local join.
-      return builder_.LocalJoinAll(q);
+      return builder_.LocalJoinAllIn(arena_, q);
     }
 
-    PlanNodePtr best;
+    const PlanCandidate* best = nullptr;
     auto consider = [&](JoinMethod method, VarId var,
-                        const std::vector<PlanNodePtr>& children) {
-      PlanNodePtr cand = builder_.Join(method, var, children);
-      if (!best || cand->total_cost < best->total_cost) best = cand;
+                        std::span<const PlanCandidate* const> children) {
+      const PlanCandidate* cand =
+          builder_.JoinIn(arena_, method, var, children);
+      if (best == nullptr || cand->total_cost < best->total_cost) {
+        best = cand;
+      }
     };
 
     // (a) Every binary split — generate first, check connectivity and
@@ -129,7 +137,7 @@ class DpBushy {
       std::vector<VarId> shared = jg_.SharedJoinVars(left, right);
       if (shared.empty()) continue;  // Cartesian product; discard
       ++ops_enumerated_;
-      std::vector<PlanNodePtr> children{BestPlan(left), BestPlan(right)};
+      const PlanCandidate* children[2] = {BestPlan(left), BestPlan(right)};
       if (aborted_) return best;
       consider(JoinMethod::kBroadcast, shared[0], children);
       consider(JoinMethod::kRepartition, shared[0], children);
@@ -140,14 +148,15 @@ class DpBushy {
     std::vector<TpSet> parts;
     if (MaximalDivision(q, &var, &parts)) {
       ++ops_enumerated_;
-      std::vector<PlanNodePtr> children;
-      children.reserve(parts.size());
+      const PlanCandidate* children[TpSet::kMaxSize];
+      std::size_t n = 0;
       for (TpSet part : parts) {
-        children.push_back(BestPlan(part));
+        children[n++] = BestPlan(part);
         if (aborted_) return best;
       }
-      consider(JoinMethod::kBroadcast, var, children);
-      consider(JoinMethod::kRepartition, var, children);
+      std::span<const PlanCandidate* const> span(children, n);
+      consider(JoinMethod::kBroadcast, var, span);
+      consider(JoinMethod::kRepartition, var, span);
     }
     return best;
   }
@@ -163,7 +172,11 @@ class DpBushy {
   std::uint64_t probe_ = 0;
   std::uint64_t ops_enumerated_ = 0;
   bool aborted_ = false;
-  std::unordered_map<TpSet, PlanNodePtr, TpSetHash> memo_;
+  /// All candidates live here; only the winner is materialized at the end.
+  Arena arena_;
+  FlatTpSetMap<const PlanCandidate*> memo_;
+  std::vector<TpSet> comps_scratch_;
+  std::vector<TpSet> pieces_scratch_;
 };
 
 }  // namespace

@@ -90,13 +90,19 @@ TpSet GroupedJoinGraph::ComponentOfExcluding(int seed, TpSet within,
 std::vector<TpSet> GroupedJoinGraph::ComponentsExcluding(TpSet within,
                                                          VarId vj) const {
   std::vector<TpSet> out;
+  ComponentsExcluding(within, vj, &out);
+  return out;
+}
+
+void GroupedJoinGraph::ComponentsExcluding(TpSet within, VarId vj,
+                                           std::vector<TpSet>* out) const {
+  out->clear();
   TpSet rest = within;
   while (!rest.Empty()) {
     TpSet comp = ComponentOfExcluding(rest.First(), rest, vj);
-    out.push_back(comp);
+    out->push_back(comp);
     rest -= comp;
   }
-  return out;
 }
 
 TpSet GroupedJoinGraph::ExpandTps(TpSet rels) const {

@@ -36,6 +36,9 @@ class GroupedJoinGraph {
   bool IsConnected(TpSet rels) const;
   TpSet ComponentOfExcluding(int seed, TpSet within, VarId vj) const;
   std::vector<TpSet> ComponentsExcluding(TpSet within, VarId vj) const;
+  /// Allocation-free variant (same contract as JoinGraph's).
+  void ComponentsExcluding(TpSet within, VarId vj,
+                           std::vector<TpSet>* out) const;
 
   //===------------------------------------------------------------------===//
   // Mapping back to the base query

@@ -24,17 +24,25 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
                                   *inputs.estimator,
                                   options.hgr_candidate_cap);
 
-  auto group_leaf = [&](TpSet group) -> PlanNodePtr {
-    if (group.Count() == 1) return builder.Scan(group.First());
-    return builder.LocalJoinAll(group);
-  };
-
   if (jgr.groups.size() == 1) {
     // The whole query is one local query (e.g. under Path-BMC).
-    result.plan = group_leaf(jgr.groups[0]);
+    TpSet group = jgr.groups[0];
+    result.plan =
+        group.Count() == 1
+            // parqo-lint: allow(shared-plan-hot-path) cold: one node, once
+            ? builder.Scan(group.First())
+            // parqo-lint: allow(shared-plan-hot-path) cold: one node, once
+            : builder.LocalJoinAll(group);
     result.seconds = watch.ElapsedSeconds();
     return result;
   }
+
+  // A leaf of the reduced graph is either a raw pattern scan or the
+  // one-operator local join of a whole group.
+  auto group_leaf = [&](Arena& arena, TpSet group) -> const PlanCandidate* {
+    if (group.Count() == 1) return builder.ScanIn(arena, group.First());
+    return builder.LocalJoinAllIn(arena, group);
+  };
 
   GroupedJoinGraph grouped(jg, jgr.groups);
   TdCmdRules rules;  // plain TD-CMD on the reduced graph
@@ -42,14 +50,16 @@ OptimizeResult RunHgrTdCmd(const OptimizerInputs& inputs,
   TdCmdCore core(
       grouped, builder, rules,
       /*leaf_plan=*/
-      [&](int rel) { return group_leaf(grouped.GroupTps(rel)); },
+      [&](Arena& arena, int rel) {
+        return group_leaf(arena, grouped.GroupTps(rel));
+      },
       /*is_local=*/
       [&](TpSet rels) {
         return inputs.local_index->IsLocal(grouped.ExpandTps(rels));
       },
       /*local_plan=*/
-      [&](TpSet rels) {
-        return builder.LocalJoinAll(grouped.ExpandTps(rels));
+      [&](Arena& arena, TpSet rels) {
+        return builder.LocalJoinAllIn(arena, grouped.ExpandTps(rels));
       },
       options.timeout_seconds, options.deadline);
 

@@ -32,10 +32,14 @@ OptimizeResult RunTdCmdWithRules(const OptimizerInputs& inputs,
   run_rules.validate = options.validate;
   TdCmdCore core(
       jg, builder, run_rules,
-      /*leaf_plan=*/[&](int tp) { return builder.Scan(tp); },
+      /*leaf_plan=*/
+      [&](Arena& arena, int tp) { return builder.ScanIn(arena, tp); },
       /*is_local=*/
       [&](TpSet q) { return inputs.local_index->IsLocal(q); },
-      /*local_plan=*/[&](TpSet q) { return builder.LocalJoinAll(q); },
+      /*local_plan=*/
+      [&](Arena& arena, TpSet q) {
+        return builder.LocalJoinAllIn(arena, q);
+      },
       options.timeout_seconds, options.deadline);
   PlanNodePtr plan;
   if (options.num_threads > 1) {

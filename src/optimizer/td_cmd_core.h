@@ -16,16 +16,29 @@
 // template parameters (not std::function) so the hottest recursion makes
 // direct calls; construct with CTAD: `TdCmdCore core(graph, builder, ...)`.
 //
+// Memory management (DESIGN.md §12): enumeration constructs candidates,
+// not shared plan nodes. Every subplan is a PlanCandidate allocated from a
+// bump-pointer Arena via the arena-taking hooks and PlanBuilder::JoinIn,
+// the memo tables are flat open-addressed FlatTpSetMaps storing raw
+// candidate pointers, and only the winning root candidate is deep-copied
+// into the PlanNodePtr representation the rest of the system consumes.
+// Losing candidates are never freed individually; they die wholesale with
+// the core's arenas. The sequential path owns one arena; RunParallel gives
+// each chunk its own (workers publish memo entries across arenas, so every
+// arena lives as long as the core). Nothing is reset between runs — a
+// repeated Run() keeps its warm memo, whose entries point into the arenas.
+//
 // RunParallel fans the root-level cmds out to a worker pool. Workers share
-// a shard-striped memo (kMemoShards mutex-guarded maps keyed by TpSetHash)
-// so subproblem plans are reused across branches, the deadline/memo-cap
-// abort is an atomic flag probed on the sequential path's cadence, and the
-// root reduction tie-breaks equal-cost candidates by canonical enumeration
-// index — so parallel and sequential runs return plans of identical cost
-// (and shape) for every query. Racing workers may derive the same
-// subquery twice; both derive the identical plan (the recursion is a pure
-// function of the bitset given the shared, deterministic estimator), so
-// first-insert-wins keeps the memo consistent.
+// a shard-striped memo (kMemoShards mutex-guarded flat maps keyed by
+// TpSetHash) so subproblem plans are reused across branches, the
+// deadline/memo-cap abort is an atomic flag probed on the sequential
+// path's cadence, and the root reduction tie-breaks equal-cost candidates
+// by canonical enumeration index — so parallel and sequential runs return
+// plans of identical cost (and shape) for every query. Racing workers may
+// derive the same subquery twice; both derive the identical plan (the
+// recursion is a pure function of the bitset given the shared,
+// deterministic estimator), so first-insert-wins keeps the memo
+// consistent.
 
 #ifndef PARQO_OPTIMIZER_TD_CMD_CORE_H_
 #define PARQO_OPTIMIZER_TD_CMD_CORE_H_
@@ -36,13 +49,16 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
+#include "common/flat_map.h"
+#include "common/scratch_pool.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -99,9 +115,10 @@ template <typename Graph, typename LeafPlanFn, typename IsLocalFn,
           typename LocalPlanFn>
 class TdCmdCore {
  public:
-  /// `leaf_plan(i)` supplies the plan of single relation i. `is_local(s)`
-  /// answers whether relation set s is a local query, and `local_plan(s)`
-  /// builds its one-operator local plan (|s| >= 2).
+  /// `leaf_plan(arena, i)` supplies the candidate plan of single relation
+  /// i, allocated in `arena`. `is_local(s)` answers whether relation set s
+  /// is a local query, and `local_plan(arena, s)` builds its one-operator
+  /// local candidate (|s| >= 2).
   TdCmdCore(const Graph& graph, const PlanBuilder& builder, TdCmdRules rules,
             LeafPlanFn leaf_plan, IsLocalFn is_local, LocalPlanFn local_plan,
             double timeout_seconds = 600.0,
@@ -122,12 +139,15 @@ class TdCmdCore {
     stopwatch_.Restart();
     ResetRunState();
     Ctx ctx;
-    PlanNodePtr plan = GetBestPlan<false>(graph_.AllTps(), /*is_local=*/false, ctx);
+    ctx.arena = &arena_;
+    const PlanCandidate* plan =
+        GetBestPlan<false>(graph_.AllTps(), /*is_local=*/false, ctx);
     stats_.enumerated_cmds = ctx.enumerated;
     stats_.memo_entries = memo_.size();
     FlushCtx(ctx);
     FinishStats();
-    return KeepPlanOnAbort() ? plan : nullptr;
+    if (!KeepPlanOnAbort() || plan == nullptr) return nullptr;
+    return MaterializePlan(*plan);
   }
 
   /// Optimizes the full query with up to `num_threads` workers drawn from
@@ -142,11 +162,14 @@ class TdCmdCore {
     stats_.workers = num_threads;
 
     TpSet all = graph_.AllTps();
-    if (all.Count() == 1) return leaf_plan_(all.First());
+    if (all.Count() == 1) {
+      return MaterializePlan(*leaf_plan_(arena_, all.First()));
+    }
     bool root_local = is_local_(all);
     if (root_local && rules_.local_short_circuit) {
       stats_.local_short_circuits = 1;
-      return local_plan_(all);  // Rule 3, same as the sequential path.
+      // Rule 3, same as the sequential path.
+      return MaterializePlan(*local_plan_(arena_, all));
     }
 
     // Materialize the root-level cmds in canonical enumeration order;
@@ -157,24 +180,29 @@ class TdCmdCore {
     };
     std::vector<RootCmd> cmds;
     Ctx root_ctx;
-    EnumerateCmds(graph_, all, rules_.cmd_mode,
-                  [&](std::span<const TpSet> parts, VarId vj) {
-                    ++root_ctx.enumerated;
-                    if (!CheckDeadline<true>(root_ctx)) return false;
-                    if (rules_.validate) {
-                      PARQO_CHECK_OK(ValidateDivision(graph_, all, parts, vj));
-                    }
-                    cmds.emplace_back(RootCmd{
-                        std::vector<TpSet>(parts.begin(), parts.end()), vj});
-                    return true;
-                  });
+    root_ctx.arena = &arena_;
+    EnumerateCmds(
+        graph_, all, rules_.cmd_mode,
+        [&](std::span<const TpSet> parts, VarId vj) {
+          ++root_ctx.enumerated;
+          if (!CheckDeadline<true>(root_ctx)) return false;
+          if (rules_.validate) {
+            PARQO_CHECK_OK(ValidateDivision(graph_, all, parts, vj));
+          }
+          cmds.emplace_back(RootCmd{
+              std::vector<TpSet>(parts.begin(), parts.end()), vj});
+          return true;
+        },
+        &root_ctx.enum_scratch);
     if (Aborted()) {
       stats_.enumerated_cmds = root_ctx.enumerated;
       FlushCtx(root_ctx);
       FinishStats();
       // Deadline expiry during root materialization mirrors the
       // sequential path, whose root scan is seeded with the local plan.
-      if (KeepPlanOnAbort() && root_local) return local_plan_(all);
+      if (KeepPlanOnAbort() && root_local) {
+        return MaterializePlan(*local_plan_(arena_, all));
+      }
       return nullptr;
     }
 
@@ -183,8 +211,8 @@ class TdCmdCore {
     struct Candidate {
       double cost = std::numeric_limits<double>::infinity();
       std::int64_t index = std::numeric_limits<std::int64_t>::max();
-      PlanNodePtr plan;
-      void Offer(double c, std::int64_t i, const PlanNodePtr& p) {
+      const PlanCandidate* plan = nullptr;
+      void Offer(double c, std::int64_t i, const PlanCandidate* p) {
         if (c < cost || (c == cost && i < index)) {
           cost = c;
           index = i;
@@ -203,16 +231,25 @@ class TdCmdCore {
         std::max(num_chunks, 1), std::numeric_limits<double>::infinity());
     std::atomic<std::uint64_t> enumerated{0};
 
+    // One arena per chunk, each kept alive for the lifetime of the core:
+    // memo entries allocated by one chunk are read by every other worker
+    // (and by ForEachMemoEntry after the run). Repeated runs reuse them —
+    // never Reset() here, the warm memo still points into them.
+    while (chunk_arenas_.size() < static_cast<std::size_t>(num_chunks)) {
+      chunk_arenas_.push_back(std::make_unique<Arena>());
+    }
+
     if (num_chunks > 0) {
       pool.ParallelFor(
           num_chunks,
           [&](int chunk) {
             Stopwatch chunk_watch;
             Ctx ctx;
+            ctx.arena = chunk_arenas_[chunk].get();
             Candidate best;
             const std::size_t lo = cmds.size() * chunk / num_chunks;
             const std::size_t hi = cmds.size() * (chunk + 1) / num_chunks;
-            std::vector<PlanNodePtr> children;
+            std::vector<const PlanCandidate*> children;
             for (std::size_t i = lo; i < hi; ++i) {
               // Root cmds were counted during materialization; only probe.
               if (!CheckDeadline<true>(ctx)) break;
@@ -226,8 +263,8 @@ class TdCmdCore {
               bool broadcast_ok = !rules_.binary_broadcast_only ||
                                   cmd.parts.size() == 2;  // Rule 2
               if (broadcast_ok) {
-                PlanNodePtr cand =
-                    builder_.Join(JoinMethod::kBroadcast, cmd.vj, children);
+                const PlanCandidate* cand = builder_.JoinIn(
+                    *ctx.arena, JoinMethod::kBroadcast, cmd.vj, children);
                 if (rules_.validate) {
                   PARQO_CHECK(std::isfinite(cand->total_cost) &&
                               cand->total_cost >= 0);
@@ -237,8 +274,8 @@ class TdCmdCore {
                 best.Offer(cand->total_cost, static_cast<std::int64_t>(2 * i),
                            cand);
               }
-              PlanNodePtr cand =
-                  builder_.Join(JoinMethod::kRepartition, cmd.vj, children);
+              const PlanCandidate* cand = builder_.JoinIn(
+                  *ctx.arena, JoinMethod::kRepartition, cmd.vj, children);
               if (rules_.validate) {
                 PARQO_CHECK(std::isfinite(cand->total_cost) &&
                             cand->total_cost >= 0);
@@ -263,7 +300,7 @@ class TdCmdCore {
     if (root_local) {
       // Algorithm 1 line 10 seeds the scan with the local plan; index -1
       // reproduces "cmds must be strictly cheaper to displace it".
-      PlanNodePtr local = local_plan_(all);
+      const PlanCandidate* local = local_plan_(arena_, all);
       best.Offer(local->total_cost, -1, local);
     }
     for (Candidate& c : chunk_best) {
@@ -279,28 +316,39 @@ class TdCmdCore {
     stats_.chunks = num_chunks;
     FlushCtx(root_ctx);
     FinishStats();
-    return KeepPlanOnAbort() ? best.plan : nullptr;
+    if (!KeepPlanOnAbort() || best.plan == nullptr) return nullptr;
+    return MaterializePlan(*best.plan);
   }
 
   const TdCmdStats& stats() const { return stats_; }
 
   /// Post-run inspection of the memo (both the sequential map and the
   /// parallel shards), for OptimizeOptions::validate wiring and tests.
-  /// Not thread-safe against a concurrent run.
+  /// Each candidate entry is materialized into a fresh PlanNodePtr for the
+  /// visitor — this is the validation cold path, never enumeration. Not
+  /// thread-safe against a concurrent run.
   template <typename Fn>
   void ForEachMemoEntry(Fn&& fn) const {
-    // parqo-lint: allow(unordered-iteration) order-independent sweep
-    for (const auto& [q, plan] : memo_) fn(q, plan);
+    memo_.ForEach([&](TpSet q, const PlanCandidate* plan) {
+      fn(q, plan != nullptr ? MaterializePlan(*plan) : nullptr);
+    });
     for (const MemoShard& shard : shards_) {
-      // parqo-lint: allow(unordered-iteration) order-independent sweep
-      for (const auto& [q, plan] : shard.map) fn(q, plan);
+      shard.map.ForEach([&](TpSet q, const PlanCandidate* plan) {
+        fn(q, plan != nullptr ? MaterializePlan(*plan) : nullptr);
+      });
     }
   }
 
  private:
-  /// Per-worker (or per-run, sequentially) mutable state: the deadline
-  /// probe counter and the local share of the enumeration counter.
+  /// Per-worker (or per-run, sequentially) mutable state: the worker's
+  /// arena, the reusable enumeration scratch, the deadline probe counter,
+  /// and the local share of the enumeration counter.
   struct Ctx {
+    Arena* arena = nullptr;
+    CmdEnumScratch enum_scratch;
+    /// Depth-indexed reusable child-plan vectors for BestPlanGen's
+    /// recursion (one live vector per recursion level).
+    ScratchPool<const PlanCandidate*> children_pool;
     std::uint64_t probe = 0;
     std::uint64_t enumerated = 0;
     std::uint64_t memo_hits = 0;
@@ -312,7 +360,7 @@ class TdCmdCore {
 
   struct MemoShard {
     std::mutex mu;
-    std::unordered_map<TpSet, PlanNodePtr, TpSetHash> map;
+    FlatTpSetMap<const PlanCandidate*> map;
   };
 
   bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
@@ -360,6 +408,8 @@ class TdCmdCore {
     local_sc_acc_.store(0, std::memory_order_relaxed);
     busy_us_acc_.store(0, std::memory_order_relaxed);
     stats_ = TdCmdStats{};
+    // Deliberately does NOT touch the memos or the arenas: a repeated run
+    // reuses the warm memo, whose entries point into the arenas.
   }
 
   template <bool kParallel>
@@ -392,48 +442,46 @@ class TdCmdCore {
   }
 
   template <bool kParallel>
-  PlanNodePtr GetBestPlan(TpSet q, bool is_local, Ctx& ctx) {
+  const PlanCandidate* GetBestPlan(TpSet q, bool is_local, Ctx& ctx) {
     if constexpr (kParallel) {
       MemoShard& shard = shards_[TpSetHash{}(q) & (kMemoShards - 1)];
       {
         std::lock_guard<std::mutex> lock(shard.mu);
-        auto it = shard.map.find(q);
-        if (it != shard.map.end()) {
+        if (const PlanCandidate* const* hit = shard.map.Find(q)) {
           ++ctx.memo_hits;
-          return it->second;
+          return *hit;
         }
       }
       ++ctx.memo_misses;
       if (!is_local) is_local = is_local_(q);
-      PlanNodePtr plan = BestPlanGen<true>(q, is_local, ctx);
+      const PlanCandidate* plan = BestPlanGen<true>(q, is_local, ctx);
       if (!Aborted()) {
         std::lock_guard<std::mutex> lock(shard.mu);
-        if (shard.map.emplace(q, plan).second) {
+        if (shard.map.EmplaceFirstWins(q, plan).second) {
           memo_size_.fetch_add(1, std::memory_order_relaxed);
         }
       }
       return plan;
     } else {
-      auto it = memo_.find(q);
-      if (it != memo_.end()) {
+      if (const PlanCandidate* const* hit = memo_.Find(q)) {
         ++ctx.memo_hits;
-        return it->second;
+        return *hit;
       }
       ++ctx.memo_misses;
       if (!is_local) is_local = is_local_(q);
-      PlanNodePtr plan = BestPlanGen<false>(q, is_local, ctx);
-      if (!Aborted()) memo_.emplace(q, plan);
+      const PlanCandidate* plan = BestPlanGen<false>(q, is_local, ctx);
+      if (!Aborted()) memo_.EmplaceFirstWins(q, plan);
       return plan;
     }
   }
 
   template <bool kParallel>
-  PlanNodePtr BestPlanGen(TpSet q, bool is_local, Ctx& ctx) {
-    if (q.Count() == 1) return leaf_plan_(q.First());
+  const PlanCandidate* BestPlanGen(TpSet q, bool is_local, Ctx& ctx) {
+    if (q.Count() == 1) return leaf_plan_(*ctx.arena, q.First());
 
-    PlanNodePtr best;
+    const PlanCandidate* best = nullptr;
     if (is_local) {
-      best = local_plan_(q);
+      best = local_plan_(*ctx.arena, q);
       if (rules_.local_short_circuit) {  // Rule 3
         ++ctx.local_sc;
         return best;
@@ -441,16 +489,19 @@ class TdCmdCore {
     }
 
     double min_candidate = std::numeric_limits<double>::infinity();
-    auto consider = [&](const PlanNodePtr& cand) {
+    auto consider = [&](const PlanCandidate* cand) {
       if (rules_.validate) {
         PARQO_CHECK(std::isfinite(cand->total_cost) &&
                     cand->total_cost >= 0);
         min_candidate = std::min(min_candidate, cand->total_cost);
       }
-      if (!best || cand->total_cost < best->total_cost) best = cand;
+      if (best == nullptr || cand->total_cost < best->total_cost) {
+        best = cand;
+      }
     };
 
-    std::vector<PlanNodePtr> children;
+    typename ScratchPool<const PlanCandidate*>::Lease children(
+        ctx.children_pool);
     EnumerateCmds(
         graph_, q, rules_.cmd_mode,
         [&](std::span<const TpSet> parts, VarId vj) {
@@ -460,20 +511,24 @@ class TdCmdCore {
             PARQO_CHECK_OK(ValidateDivision(graph_, q, parts, vj));
           }
 
-          children.clear();
+          children->clear();
           for (TpSet part : parts) {
-            children.push_back(GetBestPlan<kParallel>(part, is_local, ctx));
+            children->push_back(
+                GetBestPlan<kParallel>(part, is_local, ctx));
             if (Aborted()) return false;
           }
           // Line 15-19: try each distributed join algorithm on this cmd.
           bool broadcast_ok =
               !rules_.binary_broadcast_only || parts.size() == 2;  // Rule 2
           if (broadcast_ok) {
-            consider(builder_.Join(JoinMethod::kBroadcast, vj, children));
+            consider(builder_.JoinIn(*ctx.arena, JoinMethod::kBroadcast,
+                                     vj, *children));
           }
-          consider(builder_.Join(JoinMethod::kRepartition, vj, children));
+          consider(builder_.JoinIn(*ctx.arena, JoinMethod::kRepartition,
+                                   vj, *children));
           return true;
-        });
+        },
+        &ctx.enum_scratch);
     if (rules_.validate && best != nullptr && !Aborted()) {
       // The plan this subquery memoizes must be no worse than every
       // alternative recorded during its enumeration.
@@ -499,11 +554,17 @@ class TdCmdCore {
   std::atomic<std::uint64_t> local_sc_acc_{0};
   std::atomic<std::uint64_t> busy_us_acc_{0};
   TdCmdStats stats_;
-  /// Sequential-path memo: no locking on the hot lookup.
-  std::unordered_map<TpSet, PlanNodePtr, TpSetHash> memo_;
-  /// Parallel-path memo: shard-striped, shared by all workers.
+  /// Sequential-path arena and memo: no locking on the hot lookup.
+  Arena arena_;
+  FlatTpSetMap<const PlanCandidate*> memo_;
+  /// Parallel-path memo: shard-striped, shared by all workers. Values are
+  /// candidate pointers into the chunk arenas below.
   std::array<MemoShard, kMemoShards> shards_;
   std::atomic<std::size_t> memo_size_{0};
+  /// One arena per parallel chunk, created on demand and retained for the
+  /// core's lifetime (memo entries are handed across workers and read
+  /// after the run by ForEachMemoEntry).
+  std::vector<std::unique_ptr<Arena>> chunk_arenas_;
 };
 
 }  // namespace parqo

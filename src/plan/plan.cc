@@ -64,6 +64,77 @@ PlanNodePtr PlanBuilder::LocalJoinAll(TpSet sq) const {
   return Join(JoinMethod::kLocal, kInvalidVarId, std::move(scans));
 }
 
+const PlanCandidate* PlanBuilder::ScanIn(Arena& arena, int tp) const {
+  PlanCandidate* node = arena.New<PlanCandidate>();
+  node->kind = PlanNode::Kind::kScan;
+  node->tp = tp;
+  node->tps = TpSet::Singleton(tp);
+  node->cardinality = estimator_->Cardinality(node->tps);
+  return node;
+}
+
+const PlanCandidate* PlanBuilder::JoinIn(
+    Arena& arena, JoinMethod method, VarId join_var,
+    std::span<const PlanCandidate* const> children) const {
+  PARQO_CHECK(children.size() >= 2);
+  PARQO_DCHECK(children.size() <= TpSet::kMaxSize);
+  PlanCandidate* node = arena.New<PlanCandidate>();
+  node->kind = PlanNode::Kind::kJoin;
+  node->method = method;
+  node->join_var = join_var;
+  node->num_children = static_cast<std::uint32_t>(children.size());
+  const PlanCandidate** dst = node->inline_children;
+  if (children.size() > PlanCandidate::kInlineChildren) {
+    dst = arena.NewArray<const PlanCandidate*>(children.size());
+    node->overflow_children = dst;
+  }
+
+  // Identical math to Join() above; input cardinalities go through a
+  // stack buffer (k <= 64) instead of a heap vector.
+  double input_cards[TpSet::kMaxSize];
+  double max_child_cost = 0;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const PlanCandidate* c = children[i];
+    node->tps |= c->tps;
+    input_cards[i] = c->cardinality;
+    max_child_cost = std::max(max_child_cost, c->total_cost);
+    dst[i] = c;
+  }
+  node->cardinality = estimator_->Cardinality(node->tps);
+  node->op_cost = cost_model_.JoinOpCost(
+      method, std::span<const double>(input_cards, children.size()),
+      node->cardinality);
+  node->total_cost = max_child_cost + node->op_cost;  // Eq. 3
+  return node;
+}
+
+const PlanCandidate* PlanBuilder::LocalJoinAllIn(Arena& arena,
+                                                 TpSet sq) const {
+  PARQO_CHECK(sq.Count() >= 2);
+  const PlanCandidate* scans[TpSet::kMaxSize];
+  int n = 0;
+  for (int tp : sq) scans[n++] = ScanIn(arena, tp);
+  return JoinIn(arena, JoinMethod::kLocal, kInvalidVarId,
+                std::span<const PlanCandidate* const>(scans, n));
+}
+
+PlanNodePtr MaterializePlan(const PlanCandidate& candidate) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = candidate.kind;
+  node->tps = candidate.tps;
+  node->tp = candidate.tp;
+  node->method = candidate.method;
+  node->join_var = candidate.join_var;
+  node->cardinality = candidate.cardinality;
+  node->op_cost = candidate.op_cost;
+  node->total_cost = candidate.total_cost;
+  node->children.reserve(candidate.num_children);
+  for (const PlanCandidate* child : candidate.children()) {
+    node->children.push_back(MaterializePlan(*child));
+  }
+  return node;
+}
+
 namespace {
 
 char MethodLetter(JoinMethod m) {
@@ -90,9 +161,11 @@ void Render(const PlanNode& node, const JoinGraph& jg, int indent,
     *out += "Join";
     *out += MethodLetter(node.method);
     if (node.join_var != kInvalidVarId) {
-      *out += " on ?" + jg.var_name(node.join_var);
+      *out += " on ?";
+      *out += jg.var_name(node.join_var);
     }
-    *out += " " + node.tps.ToString();
+    *out += " ";
+    *out += node.tps.ToString();
   }
   char buf[96];
   std::snprintf(buf, sizeof(buf), "  (card=%.3g, op=%.3g, total=%.3g)\n",

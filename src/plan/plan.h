@@ -8,10 +8,14 @@
 #ifndef PARQO_PLAN_PLAN_H_
 #define PARQO_PLAN_PLAN_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/tp_set.h"
 #include "cost/cost_model.h"
 #include "query/join_graph.h"
@@ -52,6 +56,53 @@ struct PlanNode {
   int JoinDepth() const;
 };
 
+/// A candidate plan node during enumeration: the arena-allocated twin of
+/// PlanNode. The TD-CMD family and DP-Bushy build millions of these per
+/// dense query and discard all but one, so a candidate must cost a
+/// pointer bump, not a make_shared plus refcount churn: nodes live in a
+/// per-worker Arena, children are raw pointers stored inline for the
+/// common k <= 4 joins (overflowing to an arena array above that), and
+/// nothing is ever freed individually. Only the winning candidate is
+/// deep-copied into the shared PlanNode representation (MaterializePlan)
+/// when the run finishes, so everything downstream of the optimizer —
+/// executor, validator, export, tools — sees PlanNodePtr exactly as
+/// before. Lifetime rules are in DESIGN.md §12.
+struct PlanCandidate {
+  static constexpr std::uint32_t kInlineChildren = 4;
+
+  PlanNode::Kind kind = PlanNode::Kind::kScan;
+  TpSet tps;
+  int tp = -1;  ///< Pattern index (kScan).
+
+  // --- kJoin ---
+  JoinMethod method = JoinMethod::kLocal;
+  VarId join_var = kInvalidVarId;
+  std::uint32_t num_children = 0;
+  union {
+    const PlanCandidate* inline_children[kInlineChildren];
+    const PlanCandidate* const* overflow_children;
+  };
+
+  double cardinality = 0;
+  double op_cost = 0;
+  double total_cost = 0;
+
+  std::span<const PlanCandidate* const> children() const {
+    return {num_children <= kInlineChildren ? inline_children
+                                            : overflow_children,
+            num_children};
+  }
+};
+static_assert(std::is_trivially_destructible_v<PlanCandidate>,
+              "PlanCandidate must be arena-allocatable");
+
+/// Deep-copies the winning candidate into the immutable shared PlanNode
+/// representation. Subplans the memo shared between parents are copied
+/// per use — the result is a tree with identical costs, cardinalities,
+/// and shape (winning plans are small; the sharing only mattered for the
+/// millions of losers, which the arena makes free).
+PlanNodePtr MaterializePlan(const PlanCandidate& candidate);
+
 /// Creates plan nodes with costs and cardinalities filled in. Holds the
 /// estimator and cost model; all optimizers in one run share one builder so
 /// plan costs are directly comparable.
@@ -72,6 +123,22 @@ class PlanBuilder {
   /// The "local join plan" of Algorithm 1 line 10: all patterns of `sq`
   /// scanned and joined by one local join operator.
   PlanNodePtr LocalJoinAll(TpSet sq) const;
+
+  //===------------------------------------------------------------------===//
+  // Arena-backed candidate construction (the enumeration hot path).
+  // Identical cost/cardinality math to the shared_ptr methods above —
+  // the plan-identity sweep in tests/plan_identity_test.cc holds the two
+  // representations bit-identical — but a candidate is one pointer bump
+  // in `arena` and is never individually freed.
+  //===------------------------------------------------------------------===//
+
+  const PlanCandidate* ScanIn(Arena& arena, int tp) const;
+
+  const PlanCandidate* JoinIn(
+      Arena& arena, JoinMethod method, VarId join_var,
+      std::span<const PlanCandidate* const> children) const;
+
+  const PlanCandidate* LocalJoinAllIn(Arena& arena, TpSet sq) const;
 
  private:
   const CardinalityEstimator* estimator_;

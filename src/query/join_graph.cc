@@ -130,13 +130,19 @@ std::vector<TpSet> JoinGraph::Components(TpSet within) const {
 std::vector<TpSet> JoinGraph::ComponentsExcluding(TpSet within,
                                                   VarId vj) const {
   std::vector<TpSet> out;
+  ComponentsExcluding(within, vj, &out);
+  return out;
+}
+
+void JoinGraph::ComponentsExcluding(TpSet within, VarId vj,
+                                    std::vector<TpSet>* out) const {
+  out->clear();
   TpSet rest = within;
   while (!rest.Empty()) {
     TpSet comp = ComponentOfExcluding(rest.First(), rest, vj);
-    out.push_back(comp);
+    out->push_back(comp);
     rest -= comp;
   }
-  return out;
 }
 
 std::vector<VarId> JoinGraph::SharedJoinVars(TpSet a, TpSet b) const {

@@ -100,6 +100,10 @@ class JoinGraph {
   std::vector<TpSet> Components(TpSet within) const;
   /// Components after removing join variable `vj` (Algorithm 2 line 1).
   std::vector<TpSet> ComponentsExcluding(TpSet within, VarId vj) const;
+  /// Allocation-free variant for the enumeration hot path: clears `out`
+  /// and appends the components, reusing its capacity.
+  void ComponentsExcluding(TpSet within, VarId vj,
+                           std::vector<TpSet>* out) const;
 
   /// Join variables shared by subqueries `a` and `b` (occur in both).
   std::vector<VarId> SharedJoinVars(TpSet a, TpSet b) const;

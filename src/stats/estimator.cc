@@ -18,12 +18,11 @@ const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
   Shard& shard = shards_[TpSetHash{}(sq) & (kShards - 1)];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(sq);
-    if (it != shard.map.end()) {
+    if (const Derived* const* hit = shard.map.Find(sq)) {
       if (MetricsEnabled()) {
         memo_hits_.fetch_add(1, std::memory_order_relaxed);
       }
-      return it->second;
+      return **hit;
     }
   }
   if (MetricsEnabled()) {
@@ -70,10 +69,15 @@ const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
     for (double& b : d.bindings) b = std::min(b, d.cardinality);
   }
 
-  // A racing thread may have inserted sq meanwhile; emplace keeps the
-  // existing entry, and both derivations are identical anyway.
+  // A racing thread may have inserted sq meanwhile; first insert wins,
+  // and both derivations are identical anyway. The deque owns the entry
+  // (stable address), the flat map only indexes it.
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.map.emplace(sq, std::move(d)).first->second;
+  if (const Derived* const* hit = shard.map.Find(sq)) return **hit;
+  shard.storage.push_back(std::move(d));
+  const Derived* entry = &shard.storage.back();
+  shard.map.EmplaceFirstWins(sq, entry);
+  return *entry;
 }
 
 double CardinalityEstimator::Cardinality(TpSet sq) const {

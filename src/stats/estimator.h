@@ -8,12 +8,13 @@
 // memoized plans can be compared across algorithms.
 //
 // The memo is striped over mutex-guarded shards so concurrent enumeration
-// workers (see td_cmd_core.h) share one estimator: derived entries are
-// immutable once inserted and unordered_map never invalidates element
-// references, so a reference obtained under the shard lock stays valid
-// after it is released. Racing derivations of the same subquery compute
-// identical values (the derivation is a pure function of the bitset) and
-// the first insert wins.
+// workers (see td_cmd_core.h) share one estimator. Each shard pairs a flat
+// open-addressed index (FlatTpSetMap, bitset keys probed inline — no
+// per-node allocation, no pointer chase) with a deque that owns the
+// derived entries: deque growth never moves existing elements, so a
+// pointer obtained under the shard lock stays valid after it is released.
+// Racing derivations of the same subquery compute identical values (the
+// derivation is a pure function of the bitset) and the first insert wins.
 
 #ifndef PARQO_STATS_ESTIMATOR_H_
 #define PARQO_STATS_ESTIMATOR_H_
@@ -21,9 +22,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.h"
 
 #include "common/tp_set.h"
 #include "query/join_graph.h"
@@ -68,7 +71,8 @@ class CardinalityEstimator {
 
   struct Shard {
     std::mutex mu;
-    std::unordered_map<TpSet, Derived, TpSetHash> map;
+    FlatTpSetMap<const Derived*> map;
+    std::deque<Derived> storage;  // element addresses are stable
   };
 
   const Derived& Derive(TpSet sq) const;

@@ -8,7 +8,13 @@
 namespace parqo {
 namespace {
 
-std::string VarName(int i) { return "v" + std::to_string(i); }
+// Appends, not chained operator+: GCC 12 -Wrestrict false positive
+// (PR105651) under -O2.
+std::string VarName(int i) {
+  std::string name = "v";
+  name += std::to_string(i);
+  return name;
+}
 
 TriplePattern MakePattern(const std::string& subject_var, int predicate,
                           const std::string& object_var) {
@@ -27,7 +33,8 @@ std::vector<TriplePattern> BuildStructure(QueryShape shape, int n,
     case QueryShape::kStar: {
       // All patterns share one center variable, in random direction.
       for (int i = 0; i < n; ++i) {
-        std::string leaf = "x" + std::to_string(i);
+        std::string leaf = "x";
+        leaf += std::to_string(i);
         if (rng.Bernoulli(0.5)) {
           patterns.push_back(MakePattern("c", i, leaf));
         } else {

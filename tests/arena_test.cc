@@ -1,0 +1,336 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/scratch_pool.h"
+#include "common/tp_set.h"
+
+namespace parqo {
+namespace {
+
+//===--------------------------------------------------------------------===//
+// Arena
+//===--------------------------------------------------------------------===//
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  struct Aligned16 {
+    alignas(16) char data[24];
+  };
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p1 = arena.Allocate(1, 1);
+    void* p8 = arena.Allocate(8, 8);
+    void* p16 = arena.New<Aligned16>();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p8) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p16) % 16, 0u);
+    ptrs.push_back(p1);
+    ptrs.push_back(p8);
+    ptrs.push_back(p16);
+  }
+  // Writing each allocation's full extent must not corrupt any other:
+  // stamp everything, then verify everything.
+  std::memset(ptrs[0], 0xab, 1);
+  for (std::size_t i = 0; i < ptrs.size(); i += 3) {
+    std::memset(ptrs[i], static_cast<int>(i & 0xff), 1);
+    std::memset(ptrs[i + 1], static_cast<int>((i + 1) & 0xff), 8);
+    std::memset(ptrs[i + 2], static_cast<int>((i + 2) & 0xff), 24);
+  }
+  for (std::size_t i = 0; i < ptrs.size(); i += 3) {
+    EXPECT_EQ(*static_cast<unsigned char*>(ptrs[i]), i & 0xff);
+    for (int b = 0; b < 8; ++b) {
+      EXPECT_EQ(static_cast<unsigned char*>(ptrs[i + 1])[b], (i + 1) & 0xff);
+    }
+  }
+}
+
+TEST(ArenaTest, GrowsByWholeBlocksAndTracksUsage) {
+  Arena arena(/*block_bytes=*/256);
+  EXPECT_EQ(arena.num_blocks(), 0u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+
+  arena.Allocate(100, 8);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 100u);
+  EXPECT_GE(arena.bytes_reserved(), 256u);
+
+  // Exhaust the first block: a second one appears.
+  for (int i = 0; i < 10; ++i) arena.Allocate(100, 8);
+  EXPECT_GE(arena.num_blocks(), 2u);
+  EXPECT_EQ(arena.bytes_used(), 1100u);
+}
+
+TEST(ArenaTest, OversizeAllocationGetsDedicatedBlock) {
+  Arena arena(/*block_bytes=*/128);
+  void* small = arena.Allocate(16, 8);
+  void* big = arena.Allocate(4096, 8);  // far larger than a block
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5a, 4096);  // the whole request must be writable
+  EXPECT_NE(small, big);
+  // The arena can keep allocating small objects afterwards.
+  void* after = arena.Allocate(16, 8);
+  ASSERT_NE(after, nullptr);
+  std::memset(after, 0x11, 16);
+}
+
+TEST(ArenaTest, ResetReusesBlocksWithoutNewReservation) {
+  Arena arena(/*block_bytes=*/512);
+  for (int i = 0; i < 64; ++i) arena.Allocate(64, 8);
+  std::size_t reserved = arena.bytes_reserved();
+  std::size_t blocks = arena.num_blocks();
+  ASSERT_GE(blocks, 2u);
+
+  for (int round = 0; round < 5; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    for (int i = 0; i < 64; ++i) {
+      void* p = arena.Allocate(64, 8);
+      std::memset(p, round, 64);
+    }
+    // A warm arena never grows: same blocks, same reservation.
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    EXPECT_EQ(arena.num_blocks(), blocks);
+  }
+}
+
+TEST(ArenaTest, NewConstructsAndNewArrayIsWritable) {
+  struct Node {
+    int a;
+    double b;
+  };
+  Arena arena;
+  Node* n = arena.New<Node>(Node{7, 2.5});
+  EXPECT_EQ(n->a, 7);
+  EXPECT_EQ(n->b, 2.5);
+
+  int* arr = arena.NewArray<int>(1000);
+  for (int i = 0; i < 1000; ++i) arr[i] = i;
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(arr[i], i);
+}
+
+TEST(ArenaTest, ZeroSizedAllocationsYieldDistinctPointers) {
+  Arena arena;
+  void* a = arena.Allocate(0, 1);
+  void* b = arena.Allocate(0, 1);
+  EXPECT_NE(a, b);
+}
+
+#if defined(PARQO_ASAN)
+TEST(ArenaDeathTest, UseAfterResetIsPoisoned) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Arena arena;
+        int* p = arena.New<int>(42);
+        arena.Reset();
+        // Poisoned: the write must fault under ASan.
+        *p = 7;
+      },
+      "use-after-poison");
+}
+
+TEST(ArenaDeathTest, OverflowPastAllocationIsPoisoned) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Arena arena;
+        char* p = static_cast<char*>(arena.Allocate(8, 8));
+        // Redzone between allocations: one past the end is poisoned.
+        p[8] = 1;
+      },
+      "use-after-poison");
+}
+#endif  // PARQO_ASAN
+
+//===--------------------------------------------------------------------===//
+// FlatTpSetMap
+//===--------------------------------------------------------------------===//
+
+TEST(FlatTpSetMapTest, FindOnEmptyMap) {
+  FlatTpSetMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(TpSet::Singleton(3)), nullptr);
+}
+
+TEST(FlatTpSetMapTest, InsertAndFind) {
+  FlatTpSetMap<int> map;
+  auto [v, inserted] = map.EmplaceFirstWins(TpSet::Singleton(1), 10);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 10);
+  EXPECT_EQ(map.size(), 1u);
+
+  const int* found = map.Find(TpSet::Singleton(1));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, 10);
+  EXPECT_EQ(map.Find(TpSet::Singleton(2)), nullptr);
+}
+
+TEST(FlatTpSetMapTest, FirstInsertWins) {
+  FlatTpSetMap<int> map;
+  TpSet key = TpSet::Singleton(5) | TpSet::Singleton(9);
+  map.EmplaceFirstWins(key, 1);
+  auto [v, inserted] = map.EmplaceFirstWins(key, 2);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*v, 1);  // the existing value survived
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatTpSetMapTest, ManyKeysSurviveGrowth) {
+  // Every nonempty subset of {0..11}: 4095 keys, forcing many rehashes
+  // and plenty of collisions/wrap-arounds in a power-of-two table.
+  FlatTpSetMap<std::uint64_t> map;
+  std::vector<TpSet> keys;
+  for (std::uint64_t bits = 1; bits < (1u << 12); ++bits) {
+    TpSet s;
+    for (int i = 0; i < 12; ++i) {
+      if (bits & (1u << i)) s.Add(i);
+    }
+    keys.push_back(s);
+    auto [v, inserted] = map.EmplaceFirstWins(s, bits);
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(*v, bits);
+  }
+  EXPECT_EQ(map.size(), keys.size());
+  // Load factor stays at or under one half.
+  EXPECT_GE(map.capacity(), 2 * map.size());
+  for (std::uint64_t bits = 1; bits < (1u << 12); ++bits) {
+    const std::uint64_t* v = map.Find(keys[bits - 1]);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, bits);
+  }
+  // And absent keys still miss.
+  EXPECT_EQ(map.Find(TpSet::Singleton(20)), nullptr);
+}
+
+TEST(FlatTpSetMapTest, ReserveAvoidsRehash) {
+  FlatTpSetMap<int> map;
+  map.Reserve(1000);
+  std::size_t cap = map.capacity();
+  EXPECT_GE(cap, 2000u);
+  for (int i = 0; i < 1000; ++i) {
+    TpSet s;
+    s.Add(i % 64);
+    s.Add((i / 64) % 64 == i % 64 ? (i % 64 + 1) % 64 : (i / 64) % 64);
+    map.EmplaceFirstWins(s, i);
+  }
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatTpSetMapTest, ClearKeepsCapacity) {
+  FlatTpSetMap<int> map;
+  for (int i = 0; i < 100; ++i) {
+    map.EmplaceFirstWins(TpSet::Singleton(i % 64) | TpSet::Singleton(63),
+                         i);
+  }
+  std::size_t cap = map.capacity();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.Find(TpSet::Singleton(1) | TpSet::Singleton(63)), nullptr);
+  auto [v, inserted] = map.EmplaceFirstWins(TpSet::Singleton(2), 5);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(FlatTpSetMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatTpSetMap<int> map;
+  std::set<int> expect;
+  for (int i = 0; i < 64; ++i) {
+    map.EmplaceFirstWins(TpSet::Singleton(i), i);
+    expect.insert(i);
+  }
+  std::set<int> seen;
+  map.ForEach([&](TpSet key, int value) {
+    EXPECT_EQ(key.First(), value);
+    EXPECT_TRUE(seen.insert(value).second);
+  });
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(FlatTpSetMapTest, PointerValuesAreStableAcrossRehash) {
+  // The memo stores pointers; their *targets* must stay valid while the
+  // table rehashes around them.
+  FlatTpSetMap<const int*> map;
+  std::vector<std::unique_ptr<int>> storage;
+  for (int i = 0; i < 500; ++i) {
+    storage.push_back(std::make_unique<int>(i));
+    TpSet s = TpSet::Singleton(i % 64);
+    s.Add((i / 64 + i % 64 + 1) % 64);
+    map.EmplaceFirstWins(s, storage.back().get());
+  }
+  int hits = 0;
+  map.ForEach([&](TpSet, const int* v) {
+    hits++;
+    EXPECT_GE(*v, 0);
+    EXPECT_LT(*v, 500);
+  });
+  EXPECT_EQ(static_cast<std::size_t>(hits), map.size());
+}
+
+//===--------------------------------------------------------------------===//
+// ScratchPool
+//===--------------------------------------------------------------------===//
+
+TEST(ScratchPoolTest, LeaseReusesCapacityAcrossCalls) {
+  ScratchPool<int> pool(/*reserve_per_vector=*/4);
+  const int* data0 = nullptr;
+  {
+    ScratchPool<int>::Lease lease(pool);
+    for (int i = 0; i < 100; ++i) lease->push_back(i);
+    data0 = lease->data();
+    EXPECT_EQ(pool.depth(), 1u);
+  }
+  EXPECT_EQ(pool.depth(), 0u);
+  {
+    // Same depth, same vector, already-grown capacity: no reallocation.
+    ScratchPool<int>::Lease lease(pool);
+    EXPECT_TRUE(lease->empty());
+    EXPECT_GE(lease->capacity(), 100u);
+    lease->push_back(1);
+    EXPECT_EQ(lease->data(), data0);
+  }
+}
+
+TEST(ScratchPoolTest, NestedLeasesGetDistinctVectors) {
+  ScratchPool<int> pool;
+  ScratchPool<int>::Lease outer(pool);
+  outer->push_back(1);
+  {
+    ScratchPool<int>::Lease inner(pool);
+    inner->push_back(2);
+    EXPECT_NE(outer.get(), inner.get());
+    EXPECT_EQ(pool.depth(), 2u);
+    // The outer lease's contents survive inner churn.
+    for (int i = 0; i < 1000; ++i) inner->push_back(i);
+  }
+  ASSERT_EQ(outer->size(), 1u);
+  EXPECT_EQ((*outer)[0], 1);
+}
+
+TEST(ScratchPoolTest, DeepRecursionKeepsOuterReferencesValid) {
+  ScratchPool<int> pool;
+  // Simulated recursion: each level records a marker, goes deeper, and
+  // checks the marker afterwards (deque backing keeps references valid
+  // while deeper levels grow the pool).
+  std::function<void(int)> recurse = [&](int depth) {
+    ScratchPool<int>::Lease lease(pool);
+    lease->push_back(depth);
+    if (depth < 40) recurse(depth + 1);
+    ASSERT_EQ(lease->size(), 1u);
+    EXPECT_EQ((*lease)[0], depth);
+  };
+  recurse(0);
+  EXPECT_EQ(pool.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace parqo

@@ -32,11 +32,17 @@ namespace {
 RdfGraph RandomGraph(Rng& rng, int n, int p, int m) {
   Dictionary dict;
   std::vector<TermId> entities, predicates;
+  // Appends, not chained operator+: GCC 12 -Wrestrict false positive
+  // (PR105651) under -O2.
   for (int i = 0; i < n; ++i) {
-    entities.push_back(dict.EncodeIri("e" + std::to_string(i)));
+    std::string name = "e";
+    name += std::to_string(i);
+    entities.push_back(dict.EncodeIri(name));
   }
   for (int i = 0; i < p; ++i) {
-    predicates.push_back(dict.EncodeIri("p" + std::to_string(i)));
+    std::string name = "p";
+    name += std::to_string(i);
+    predicates.push_back(dict.EncodeIri(name));
   }
   std::vector<Triple> triples;
   for (int i = 0; i < m; ++i) {
@@ -94,7 +100,9 @@ std::vector<TriplePattern> SampleQuery(const RdfGraph& g, Rng& rng) {
     if (rng.Bernoulli(0.15)) {
       return PatternTerm::Const(dict.Decode(id));
     }
-    return PatternTerm::Var("v" + std::to_string(id));
+    std::string name = "v";
+    name += std::to_string(id);
+    return PatternTerm::Var(name);
   };
   // Decide variable/constant once per entity for consistency.
   std::vector<std::pair<TermId, PatternTerm>> mapping;

@@ -22,6 +22,17 @@ Four rule families, each guarding an invariant the compiler cannot see:
                         std::function reintroduces type erasure and an
                         indirect call per memo probe.
 
+  shared-plan-hot-path  Plan nodes constructed through the shared_ptr path
+                        (std::make_shared, PlanBuilder::Scan/Join/
+                        LocalJoinAll) inside the enumeration hot-path
+                        files. Enumeration churns millions of candidates
+                        and discards all but one; each must be a bump
+                        allocation from the per-worker Arena
+                        (ScanIn/JoinIn/LocalJoinAllIn, DESIGN.md §12), not
+                        a heap node with refcounts. Cold paths — the
+                        one-time materialization of a winner, a
+                        single-group fallback — carry an allow().
+
   metric-write          Metric state mutated outside the registry's atomic
                         API (src/common/metrics.h). Hot paths share metric
                         cache lines across worker threads; a non-atomic
@@ -66,6 +77,17 @@ HOT_PATH_FILES = {
     "src/optimizer/join_graph_reduction.cc",
 }
 
+# Files whose enumeration loops must build PlanCandidates in an Arena,
+# never shared PlanNodes (DESIGN.md §12).
+ARENA_HOT_PATH_FILES = {
+    "src/optimizer/td_cmd_core.h",
+    "src/optimizer/cbd_enumerator.h",
+    "src/optimizer/cmd_enumerator.h",
+    "src/optimizer/td_cmd.cc",
+    "src/optimizer/hgr_td_cmd.cc",
+    "src/optimizer/dp_bushy.cc",
+}
+
 ALLOW_RE = re.compile(r"//\s*parqo-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
 
 UNORDERED_DECL_RE = re.compile(
@@ -76,6 +98,12 @@ NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # "new T", not "new (place)"
 PLAIN_NEW_RE = re.compile(r"(?<![\w.])new\b")
 DELETE_RE = re.compile(r"(?<![\w.])delete(\s*\[\s*\])?\s+\w")
 STD_FUNCTION_RE = re.compile(r"std::function\s*<")
+# make_shared of anything, or a call to one of PlanBuilder's shared_ptr
+# constructors. The arena twins (ScanIn/JoinIn/LocalJoinAllIn) do not
+# match: a following identifier character breaks the pattern.
+SHARED_PLAN_RE = re.compile(
+    r"std::make_shared\s*<|[.>]\s*(?:Scan|Join|LocalJoinAll)\s*\("
+)
 METRIC_INTERNAL_RE = re.compile(r"\bmetrics_internal::")
 METRIC_RAW_WRITE_RE = re.compile(
     r"\bMetric(?:Counter|Gauge|Histogram)\b[^;]*\bvalue_\b"
@@ -233,6 +261,7 @@ class Linter:
         self.check_unordered_iteration(rel, code_lines, allowed)
         self.check_naked_new(rel, code_lines, allowed)
         self.check_std_function(rel, code_lines, allowed)
+        self.check_shared_plan(rel, code_lines, allowed)
         self.check_metric_writes(rel, code_lines, allowed)
         self.check_naked_sleep(rel, code_lines, allowed)
 
@@ -289,6 +318,23 @@ class Linter:
                 rel, lineno, rule,
                 "std::function in the enumeration hot path: use a template "
                 "parameter so the per-division calls inline",
+            )
+
+    def check_shared_plan(self, rel, code_lines, allowed):
+        rule = "shared-plan-hot-path"
+        if rel not in ARENA_HOT_PATH_FILES:
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            if not SHARED_PLAN_RE.search(code):
+                continue
+            if allowed(lineno, rule):
+                continue
+            self.report(
+                rel, lineno, rule,
+                "shared_ptr plan construction in the enumeration hot path: "
+                "build candidates in the worker's Arena "
+                "(ScanIn/JoinIn/LocalJoinAllIn) and materialize only the "
+                "winner, or justify the cold path with allow(%s)" % rule,
             )
 
     def check_metric_writes(self, rel, code_lines, allowed):
