@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -82,7 +83,9 @@ bool SameRows(const BindingTable& a, const BindingTable& b) {
     std::vector<std::vector<TermId>> out;
     out.reserve(t.NumRows());
     for (std::size_t r = 0; r < t.NumRows(); ++r) {
-      out.emplace_back(t.RowPtr(r), t.RowPtr(r) + t.num_cols());
+      std::vector<TermId> row(t.num_cols());
+      for (int c = 0; c < t.num_cols(); ++c) row[c] = t.At(r, c);
+      out.push_back(std::move(row));
     }
     std::sort(out.begin(), out.end());
     return out;
@@ -140,6 +143,107 @@ std::string ToJson(const Record& r) {
   }
   out += "}";
   return out;
+}
+
+/// One entry of the execute-side stress set (DESIGN.md section 13): a
+/// synthetic join-heavy query run through BOTH execution engines, so the
+/// batch kernels' before/after walls live in the same BENCH_main.json
+/// the optimizer numbers do. `engines_rows_match` is operator== on the
+/// two result tables — bit-identical, not set-equal.
+struct ExecStressRecord {
+  std::string name;
+  std::uint64_t triples = 0;
+  std::uint64_t result_rows = 0;
+  double row_wall_seconds = 0;
+  double batch_wall_seconds = 0;
+  bool engines_rows_match = false;
+};
+
+std::string ExecStressToJson(const ExecStressRecord& r) {
+  std::string out = "    {";
+  out += "\"name\": \"" + r.name + "\", ";
+  out += "\"triples\": " + std::to_string(r.triples) + ", ";
+  out += "\"result_rows\": " + std::to_string(r.result_rows) + ", ";
+  out += "\"row_wall_seconds\": " + JsonNum(r.row_wall_seconds) + ", ";
+  out += "\"batch_wall_seconds\": " + JsonNum(r.batch_wall_seconds) + ", ";
+  out += "\"speedup\": " +
+         JsonNum(r.batch_wall_seconds > 0
+                     ? r.row_wall_seconds / r.batch_wall_seconds
+                     : 0) +
+         ", ";
+  out += std::string("\"engines_rows_match\": ") +
+         (r.engines_rows_match ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+/// Random edge set over `entities` subjects/objects per predicate p0..pk:
+/// every pairwise join has ~edges^2/entities matching pairs, so the
+/// execute cost is dominated by the join kernels, not by scans.
+RdfGraph MakeExecStressGraph(int entities, int edges_per_pred, int preds,
+                             std::uint64_t seed) {
+  Dictionary dict;
+  std::vector<TermId> ent(entities);
+  for (int i = 0; i < entities; ++i) {
+    ent[i] = dict.EncodeIri("se" + std::to_string(i));
+  }
+  std::vector<TermId> pred(preds);
+  for (int j = 0; j < preds; ++j) {
+    pred[j] = dict.EncodeIri("p" + std::to_string(j));
+  }
+  Rng rng(seed);
+  std::vector<Triple> triples;
+  triples.reserve(static_cast<std::size_t>(preds) * edges_per_pred);
+  for (int j = 0; j < preds; ++j) {
+    for (int k = 0; k < edges_per_pred; ++k) {
+      triples.push_back({ent[rng.Uniform(0, entities - 1)], pred[j],
+                         ent[rng.Uniform(0, entities - 1)]});
+    }
+  }
+  return RdfGraph(std::move(dict), std::move(triples));
+}
+
+ExecStressRecord RunExecStress(const std::string& name,
+                               const std::string& sparql,
+                               const RdfGraph& graph, const Flags& flags) {
+  ExecStressRecord rec;
+  rec.name = name;
+  rec.triples = graph.NumTriples();
+
+  Result<ParsedQuery> parsed = ParseSparql(sparql);
+  PARQO_CHECK(parsed.ok());
+  HashSoPartitioner hash;
+  Cluster cluster(graph, hash.PartitionData(graph, flags.nodes));
+  PreparedQuery prepared(parsed->patterns, hash, StatsFromData(graph));
+  OptimizeOptions options;
+  options.timeout_seconds = flags.timeout;
+  options.cost_params.num_nodes = flags.nodes;
+  OptimizeResult best =
+      Optimize(Algorithm::kTdAuto, prepared.inputs(), options);
+  PARQO_CHECK(best.plan != nullptr);
+
+  // Best-of-N walls on the SAME plan: the engines differ only in the
+  // per-node kernels.
+  const int reps = flags.quick ? 1 : 3;
+  auto run = [&](ExecEngine engine, double* wall) {
+    Executor exec(cluster, prepared.join_graph(), options.cost_params,
+                  /*parallel_nodes=*/true, RetryPolicy{}, engine);
+    Result<BindingTable> rows = Status::Unavailable("unrun");
+    *wall = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < reps; ++i) {
+      ExecMetrics m;
+      rows = exec.Execute(*best.plan, &m);
+      PARQO_CHECK(rows.ok());
+      *wall = std::min(*wall, m.wall_seconds);
+    }
+    return rows;
+  };
+  Result<BindingTable> row_rows = run(ExecEngine::kRow, &rec.row_wall_seconds);
+  Result<BindingTable> batch_rows =
+      run(ExecEngine::kBatch, &rec.batch_wall_seconds);
+  rec.result_rows = batch_rows->NumRows();
+  rec.engines_rows_match = *row_rows == *batch_rows;
+  return rec;
 }
 
 /// The enumeration stress set: random dense and cycle queries (Section
@@ -356,6 +460,44 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Execute-side stress set: join-heavy dense and cycle queries over
+  // synthetic random graphs, run through BOTH engines (EXPERIMENTS.md's
+  // before/after execute-cost table).
+  std::vector<ExecStressRecord> exec_stress;
+  {
+    // Edge/entity ratio ~6 keeps the intermediate join inputs large (the
+    // kernels' work) while the closed shapes stay selective enough that
+    // final-result materialization does not dominate the wall.
+    const int entities = flags.quick ? 900 : 2000;
+    const int edges = flags.quick ? 5400 : 12000;
+    RdfGraph graph =
+        MakeExecStressGraph(entities, edges, /*preds=*/6, flags.seed);
+    std::printf("exec stress: %s triples, %d entities\n",
+                WithThousandsSep(graph.NumTriples()).c_str(), entities);
+    // 4-variable clique: every pair of variables constrained.
+    exec_stress.push_back(RunExecStress(
+        "dense4",
+        "SELECT * WHERE { ?a <p0> ?b . ?a <p1> ?c . ?a <p2> ?d . "
+        "?b <p3> ?c . ?b <p4> ?d . ?c <p5> ?d . }",
+        graph, flags));
+    // 6-variable cycle: long chain closed back on itself.
+    exec_stress.push_back(RunExecStress(
+        "cycle6",
+        "SELECT * WHERE { ?a <p0> ?b . ?b <p1> ?c . ?c <p2> ?d . "
+        "?d <p3> ?e . ?e <p4> ?f . ?f <p5> ?a . }",
+        graph, flags));
+    for (const ExecStressRecord& r : exec_stress) {
+      std::printf(
+          "  %-8s row %.4fs  batch %.4fs  (%.2fx)  %s rows  %s\n",
+          r.name.c_str(), r.row_wall_seconds, r.batch_wall_seconds,
+          r.batch_wall_seconds > 0
+              ? r.row_wall_seconds / r.batch_wall_seconds
+              : 0.0,
+          WithThousandsSep(r.result_rows).c_str(),
+          r.engines_rows_match ? "bit-identical" : "MISMATCH");
+    }
+  }
+
   std::printf("\n");
   PrintRow("query", {"opt time", "plan cost", "meas cost", "scanned",
                      "shipped", "rows"});
@@ -411,6 +553,12 @@ int Main(int argc, char** argv) {
   for (std::size_t i = 0; i < records.size(); ++i) {
     json += ToJson(records[i]);
     if (i + 1 < records.size()) json += ",";
+    json += "\n";
+  }
+  json += "  ],\n  \"exec_stress\": [\n";
+  for (std::size_t i = 0; i < exec_stress.size(); ++i) {
+    json += ExecStressToJson(exec_stress[i]);
+    if (i + 1 < exec_stress.size()) json += ",";
     json += "\n";
   }
   json += "  ],\n  \"totals\": {";

@@ -17,6 +17,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "exec/binding_table.h"
+#include "exec/join_kernel.h"
 #include "optimizer/cbd_enumerator.h"
 #include "optimizer/cmd_enumerator.h"
 #include "optimizer/td_cmd_core.h"
@@ -392,6 +393,126 @@ void BM_FaultProbeEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultProbeEnabled);
+
+// ---------------------------------------------------------------------------
+// Vectorized execution kernels (DESIGN.md section 13): each pair prices
+// the batch primitive against the row-at-a-time machinery it replaced.
+
+// Two joinable tables sharing exactly one variable; ~`dup` build rows per
+// key so probe chains have realistic length.
+struct JoinInputs {
+  BindingTable left{std::vector<VarId>{0, 1}};
+  BindingTable right{std::vector<VarId>{1, 2}};
+};
+JoinInputs MakeJoinInputs(int rows, int dup) {
+  Rng rng(71);
+  JoinInputs in;
+  const TermId keys = static_cast<TermId>(rows / dup + 1);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<TermId> lrow{static_cast<TermId>(r + 1),
+                             static_cast<TermId>(rng.Uniform(1, keys))};
+    std::vector<TermId> rrow{static_cast<TermId>(rng.Uniform(1, keys)),
+                             static_cast<TermId>(r + 1)};
+    in.left.AppendRow(lrow);
+    in.right.AppendRow(rrow);
+  }
+  return in;
+}
+
+// Flat open-addressed probe vs unordered_multimap probe over the same
+// single-key build side: the per-probe cost of the join table itself.
+void BM_JoinProbeFlat(benchmark::State& state) {
+  JoinInputs in = MakeJoinInputs(static_cast<int>(state.range(0)), 8);
+  SingleKeyJoinTable table;
+  table.Build(in.left.Column(1));
+  const std::vector<TermId>& probe = in.right.Column(0);
+  std::uint64_t matches = 0;
+  for (auto _ : state) {
+    for (TermId k : probe) {
+      table.ForEachMatch(k, [&](std::uint32_t r) {
+        benchmark::DoNotOptimize(r);
+        ++matches;
+      });
+    }
+  }
+  state.counters["matches/s"] = benchmark::Counter(
+      static_cast<double>(matches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_JoinProbeFlat)->Arg(4096)->Arg(65536);
+
+void BM_JoinProbeMultimap(benchmark::State& state) {
+  JoinInputs in = MakeJoinInputs(static_cast<int>(state.range(0)), 8);
+  const std::vector<TermId>& build = in.left.Column(1);
+  std::unordered_multimap<std::uint64_t, std::uint32_t> table;
+  table.reserve(build.size());
+  for (std::uint32_t r = 0; r < build.size(); ++r) {
+    table.emplace(JoinKeyHash(build[r]), r);
+  }
+  const std::vector<TermId>& probe = in.right.Column(0);
+  std::uint64_t matches = 0;
+  for (auto _ : state) {
+    for (TermId k : probe) {
+      auto [lo, hi] = table.equal_range(JoinKeyHash(k));
+      for (auto it = lo; it != hi; ++it) {
+        if (build[it->second] != k) continue;
+        benchmark::DoNotOptimize(it->second);
+        ++matches;
+      }
+    }
+  }
+  state.counters["matches/s"] = benchmark::Counter(
+      static_cast<double>(matches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_JoinProbeMultimap)->Arg(4096)->Arg(65536);
+
+// Column-batched append (AppendFrom) vs per-row AppendRow for the same
+// gather-free copy, the shape of broadcast gathers and the final gather.
+void BM_BatchAppendColumn(benchmark::State& state) {
+  JoinInputs in = MakeJoinInputs(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    BindingTable dst(in.left.schema());
+    dst.AppendFrom(in.left);
+    benchmark::DoNotOptimize(dst.NumRows());
+  }
+}
+BENCHMARK(BM_BatchAppendColumn)->Arg(4096)->Arg(65536);
+
+void BM_BatchAppendRow(benchmark::State& state) {
+  JoinInputs in = MakeJoinInputs(static_cast<int>(state.range(0)), 8);
+  const BindingTable& src = in.left;
+  std::vector<TermId> row(src.num_cols());
+  for (auto _ : state) {
+    BindingTable dst(src.schema());
+    for (std::size_t r = 0; r < src.NumRows(); ++r) {
+      for (int c = 0; c < src.num_cols(); ++c) row[c] = src.At(r, c);
+      dst.AppendRow(row);
+    }
+    benchmark::DoNotOptimize(dst.NumRows());
+  }
+}
+BENCHMARK(BM_BatchAppendRow)->Arg(4096)->Arg(65536);
+
+// The single-key specialization vs the generic multi-key kernel on the
+// same single-key join: what the TermId fast path is worth end to end.
+void BM_SingleKeyJoinSpecialized(benchmark::State& state) {
+  JoinInputs in = MakeJoinInputs(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    BindingTable out = BatchHashJoin(in.left, in.right);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+}
+BENCHMARK(BM_SingleKeyJoinSpecialized)->Arg(4096)->Arg(65536);
+
+void BM_SingleKeyJoinGeneric(benchmark::State& state) {
+  JoinInputs in = MakeJoinInputs(static_cast<int>(state.range(0)), 8);
+  BatchJoinOptions opts;
+  opts.force_generic_kernel = true;
+  for (auto _ : state) {
+    BindingTable out = BatchHashJoin(in.left, in.right, opts);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+}
+BENCHMARK(BM_SingleKeyJoinGeneric)->Arg(4096)->Arg(65536);
 
 void BM_BindingTableDeduplicate(benchmark::State& state) {
   Rng rng(9);

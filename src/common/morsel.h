@@ -1,0 +1,62 @@
+// Morsel scheduling for batch execution (DESIGN.md section 13): a work
+// range [0, n) is split into fixed-size morsels that run over the shared
+// ThreadPool, and the caller reduces per-morsel outputs in morsel-index
+// order. That ordered reduction is the determinism argument: whatever the
+// thread interleaving, morsel m's output lands at position m, so a
+// morsel-parallel operator emits byte-for-byte the rows a serial loop
+// would. ParallelFor is caller-participating and nest-safe, so morsel
+// parallelism composes with the executor's per-node ForEachNode fan-out
+// on the same pool without deadlock.
+
+#ifndef PARQO_COMMON_MORSEL_H_
+#define PARQO_COMMON_MORSEL_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/thread_pool.h"
+
+namespace parqo {
+
+/// Rows per morsel when the caller has no reason to choose: small enough
+/// that a morsel's working set stays cache-resident, large enough that
+/// per-morsel dispatch cost is noise.
+inline constexpr std::size_t kDefaultMorselRows = 1024;
+
+/// Number of fixed-size morsels covering [0, n). morsel_rows == 0 means
+/// "one morsel for everything".
+inline std::size_t NumMorsels(std::size_t n, std::size_t morsel_rows) {
+  if (n == 0) return 0;
+  if (morsel_rows == 0) return 1;
+  return (n + morsel_rows - 1) / morsel_rows;
+}
+
+/// Runs fn(morsel_index, begin, end) over every morsel of [0, n). When
+/// `parallel`, morsels are dispatched over the global pool; fn must only
+/// touch morsel-local state (typically its own slot of a pre-sized chunk
+/// vector, reduced in index order afterwards).
+template <typename Fn>
+void ForEachMorsel(std::size_t n, std::size_t morsel_rows, bool parallel,
+                   Fn&& fn) {
+  const std::size_t morsels = NumMorsels(n, morsel_rows);
+  if (morsels == 0) return;
+  if (morsels == 1) {
+    fn(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  if (!parallel) {
+    for (std::size_t m = 0; m < morsels; ++m) {
+      fn(m, m * morsel_rows, std::min(n, (m + 1) * morsel_rows));
+    }
+    return;
+  }
+  ThreadPool::Global().ParallelFor(
+      static_cast<int>(morsels), [&](int i) {
+        std::size_t m = static_cast<std::size_t>(i);
+        fn(m, m * morsel_rows, std::min(n, (m + 1) * morsel_rows));
+      });
+}
+
+}  // namespace parqo
+
+#endif  // PARQO_COMMON_MORSEL_H_

@@ -1,6 +1,10 @@
 // Columnar table of variable bindings flowing between operators of the
-// execution engine. The schema is a sorted list of VarIds; rows are dense
-// TermId tuples.
+// execution engine. The schema is a list of VarIds; storage is one dense
+// TermId vector per column, so batch operators (scan emission, join
+// gather, repartition routing) read and write contiguous columns instead
+// of strided rows (DESIGN.md section 13). Row-at-a-time access (At,
+// AppendRow) remains for cold paths and tests; the execution hot path is
+// held to the batch APIs by tools/parqo_lint.py's exec-row-hot-path rule.
 
 #ifndef PARQO_EXEC_BINDING_TABLE_H_
 #define PARQO_EXEC_BINDING_TABLE_H_
@@ -8,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "query/join_graph.h"
 #include "rdf/term.h"
 
@@ -17,45 +22,74 @@ class BindingTable {
  public:
   BindingTable() = default;
   explicit BindingTable(std::vector<VarId> schema)
-      : schema_(std::move(schema)) {}
+      : schema_(std::move(schema)), cols_(schema_.size()) {
+    BuildColumnIndex();
+  }
 
   const std::vector<VarId>& schema() const { return schema_; }
   int num_cols() const { return static_cast<int>(schema_.size()); }
-  std::size_t NumRows() const {
-    return schema_.empty() ? 0 : data_.size() / schema_.size();
-  }
+  std::size_t NumRows() const { return cols_.empty() ? 0 : cols_[0].size(); }
 
-  /// Column index of variable v, or -1 if absent.
+  /// Column index of variable v, or -1 if absent. O(1): the constructor
+  /// builds a small VarId-indexed lookup (duplicate schema entries keep
+  /// the first column, matching the linear scan this replaced).
   int ColumnOf(VarId v) const {
-    for (int c = 0; c < num_cols(); ++c) {
-      if (schema_[c] == v) return c;
-    }
-    return -1;
+    return v >= 0 && static_cast<std::size_t>(v) < col_of_.size()
+               ? col_of_[v]
+               : -1;
   }
 
-  TermId At(std::size_t row, int col) const {
-    return data_[row * schema_.size() + col];
+  TermId At(std::size_t row, int col) const { return cols_[col][row]; }
+
+  /// Whole-column access for batch kernels.
+  const std::vector<TermId>& Column(int col) const { return cols_[col]; }
+  std::vector<TermId>& MutableColumn(int col) { return cols_[col]; }
+
+  void Reserve(std::size_t rows) {
+    for (std::vector<TermId>& c : cols_) c.reserve(rows);
   }
 
-  /// Appends one row; `row` must have num_cols() entries.
+  /// Appends one row; `row` must have num_cols() entries. Cold-path/test
+  /// API: operators append in batches (AppendFrom/AppendGather).
   void AppendRow(const TermId* row) {
-    data_.insert(data_.end(), row, row + schema_.size());
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      cols_[c].push_back(row[c]);
+    }
   }
   void AppendRow(const std::vector<TermId>& row) { AppendRow(row.data()); }
 
-  const TermId* RowPtr(std::size_t row) const {
-    return data_.data() + row * schema_.size();
-  }
+  /// Appends every row of `src`, column by column. Schemas must be
+  /// identical (same variables in the same column order).
+  void AppendFrom(const BindingTable& src);
 
-  /// Removes duplicate rows (set semantics).
+  /// Appends `n` rows of `src` selected by `rows` (source row indexes, in
+  /// the given order), column by column. Schemas must be identical.
+  void AppendGather(const BindingTable& src, const std::uint32_t* rows,
+                    std::size_t n);
+
+  /// Removes duplicate rows (set semantics), keeping the first occurrence
+  /// of each row in order — the canonical order downstream golden
+  /// comparisons rely on. Hash-based: no row copies, no sorting.
   void Deduplicate();
 
-  /// Rows projected onto `vars` (each must be in the schema), deduplicated.
+  /// Rows projected onto `vars` (each must be in the schema),
+  /// deduplicated. Column-oriented: each projected column is copied
+  /// wholesale, then duplicates are hashed out on the projected columns
+  /// only. A zero-column projection yields an empty table (a table with
+  /// no schema has no rows by definition).
   BindingTable Project(const std::vector<VarId>& vars) const;
 
+  /// Exact equality: same schema, same rows in the same order.
+  friend bool operator==(const BindingTable& a, const BindingTable& b) {
+    return a.schema_ == b.schema_ && a.cols_ == b.cols_;
+  }
+
  private:
+  void BuildColumnIndex();
+
   std::vector<VarId> schema_;
-  std::vector<TermId> data_;  // row-major
+  std::vector<std::vector<TermId>> cols_;  // cols_[c][r]
+  std::vector<int> col_of_;                // VarId -> column index, -1 absent
 };
 
 }  // namespace parqo

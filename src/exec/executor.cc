@@ -1,129 +1,25 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <numeric>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "common/morsel.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/join_kernel.h"
+#include "exec/reference_join.h"
 #include "partition/partitioner.h"
 
 namespace parqo {
 namespace {
-
-std::uint64_t HashKey(const std::vector<TermId>& key) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (TermId t : key) {
-    h ^= t;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-// Sorted union of two schemas.
-std::vector<VarId> MergeSchemas(const std::vector<VarId>& a,
-                                const std::vector<VarId>& b) {
-  std::vector<VarId> out = a;
-  for (VarId v : b) {
-    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-std::vector<VarId> SharedSchema(const std::vector<VarId>& a,
-                                const std::vector<VarId>& b) {
-  std::vector<VarId> out;
-  for (VarId v : a) {
-    if (std::find(b.begin(), b.end(), v) != b.end()) out.push_back(v);
-  }
-  return out;
-}
-
-// Hash join of two tables on all shared variables (cross product when none
-// are shared, which only arises inside constant-anchored local queries).
-BindingTable HashJoin(const BindingTable& left, const BindingTable& right) {
-  std::vector<VarId> shared = SharedSchema(left.schema(), right.schema());
-  std::vector<VarId> out_schema =
-      MergeSchemas(left.schema(), right.schema());
-  BindingTable out(out_schema);
-
-  // Column plumbing.
-  std::vector<int> left_key, right_key;
-  for (VarId v : shared) {
-    left_key.push_back(left.ColumnOf(v));
-    right_key.push_back(right.ColumnOf(v));
-  }
-  std::vector<int> out_from_left(out_schema.size(), -1);
-  std::vector<int> out_from_right(out_schema.size(), -1);
-  for (std::size_t i = 0; i < out_schema.size(); ++i) {
-    out_from_left[i] = left.ColumnOf(out_schema[i]);
-    out_from_right[i] = right.ColumnOf(out_schema[i]);
-  }
-
-  std::vector<TermId> key(shared.size());
-  std::vector<TermId> row(out_schema.size());
-  auto emit = [&](std::size_t lr, std::size_t rr) {
-    for (std::size_t i = 0; i < out_schema.size(); ++i) {
-      row[i] = out_from_left[i] >= 0 ? left.At(lr, out_from_left[i])
-                                     : right.At(rr, out_from_right[i]);
-    }
-    out.AppendRow(row);
-  };
-
-  if (shared.empty()) {
-    for (std::size_t lr = 0; lr < left.NumRows(); ++lr) {
-      for (std::size_t rr = 0; rr < right.NumRows(); ++rr) emit(lr, rr);
-    }
-    return out;
-  }
-
-  // Build on the smaller side.
-  const bool build_left = left.NumRows() <= right.NumRows();
-  const BindingTable& build = build_left ? left : right;
-  const BindingTable& probe = build_left ? right : left;
-  const std::vector<int>& build_key = build_left ? left_key : right_key;
-  const std::vector<int>& probe_key = build_left ? right_key : left_key;
-
-  std::unordered_multimap<std::uint64_t, std::size_t> table;
-  table.reserve(build.NumRows());
-  for (std::size_t r = 0; r < build.NumRows(); ++r) {
-    for (std::size_t i = 0; i < key.size(); ++i) {
-      key[i] = build.At(r, build_key[i]);
-    }
-    table.emplace(HashKey(key), r);
-  }
-  for (std::size_t r = 0; r < probe.NumRows(); ++r) {
-    for (std::size_t i = 0; i < key.size(); ++i) {
-      key[i] = probe.At(r, probe_key[i]);
-    }
-    auto [lo, hi] = table.equal_range(HashKey(key));
-    for (auto it = lo; it != hi; ++it) {
-      std::size_t b = it->second;
-      bool equal = true;
-      for (std::size_t i = 0; i < key.size(); ++i) {
-        if (build.At(b, build_key[i]) != key[i]) {
-          equal = false;
-          break;
-        }
-      }
-      if (!equal) continue;
-      if (build_left) {
-        emit(b, r);
-      } else {
-        emit(r, b);
-      }
-    }
-  }
-  return out;
-}
 
 // Concurrency cap for simulated-node work: beyond this many workers the
 // extra threads only add scheduling overhead (cluster sizes in the
@@ -332,12 +228,23 @@ struct Executor::DistTable {
 
 Executor::Executor(const Cluster& cluster, const JoinGraph& jg,
                    CostParams cost_params, bool parallel_nodes,
-                   RetryPolicy retry)
+                   RetryPolicy retry, ExecEngine engine)
     : cluster_(cluster),
       jg_(jg),
       cost_model_(cost_params),
       parallel_nodes_(parallel_nodes),
-      retry_(retry) {}
+      retry_(retry),
+      engine_(engine) {}
+
+BindingTable Executor::Join(const BindingTable& left,
+                            const BindingTable& right) const {
+  if (engine_ == ExecEngine::kRow) return ReferenceHashJoin(left, right);
+  BatchJoinOptions opts;
+  // Morsel parallelism composes with the per-node ForEachNode fan-out:
+  // both run on the same nest-safe pool.
+  opts.parallel = parallel_nodes_;
+  return BatchHashJoin(left, right, opts);
+}
 
 Result<BindingTable> Executor::Execute(const PlanNode& plan,
                                        ExecMetrics* metrics) {
@@ -380,7 +287,11 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
       frame->table.per_node.resize(n);
       PARQO_RETURN_IF_ERROR(RunPartitioned(
           rec, m, "scan", n, parallel_nodes_, [&](int i) {
-            frame->table.per_node[i] = cluster_.node(i).Scan(rp);
+            frame->table.per_node[i] =
+                engine_ == ExecEngine::kBatch
+                    ? cluster_.node(i).Scan(rp, kDefaultMorselRows,
+                                            parallel_nodes_)
+                    : cluster_.node(i).Scan(rp);
           }));
       for (int i = 0; i < n; ++i) {
         std::uint64_t rows = frame->table.per_node[i].NumRows();
@@ -414,7 +325,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
             rec, m, "local_join", n, parallel_nodes_, [&](int i) {
               BindingTable acc = children[0].table.per_node[i];
               for (std::size_t c = 1; c < children.size(); ++c) {
-                acc = HashJoin(acc, children[c].table.per_node[i]);
+                acc = Join(acc, children[c].table.per_node[i]);
               }
               out.per_node[i] = std::move(acc);
             }));
@@ -434,9 +345,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
           if (c == largest) continue;
           BindingTable g(children[c].table.schema);
           for (const BindingTable& t : children[c].table.per_node) {
-            for (std::size_t r = 0; r < t.NumRows(); ++r) {
-              g.AppendRow(t.RowPtr(r));
-            }
+            g.AppendFrom(t);
           }
           g.Deduplicate();
           // One copy of the gathered input lands on every node; each
@@ -456,7 +365,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
             rec, m, "broadcast_join", n, parallel_nodes_, [&](int i) {
               BindingTable acc = children[largest].table.per_node[i];
               for (const BindingTable& g : gathered) {
-                acc = HashJoin(acc, g);
+                acc = Join(acc, g);
               }
               out.per_node[i] = std::move(acc);
             }));
@@ -473,10 +382,21 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
             col = in.per_node[0].ColumnOf(node.join_var);
           }
           PARQO_CHECK(col >= 0);
+          // Route column-wise: bucket each source table's row indexes by
+          // target (ascending within a bucket), then ship every bucket
+          // with one gather. Arrival order per target matches the old
+          // per-row routing exactly.
+          std::vector<std::vector<std::uint32_t>> route(n);
           for (const BindingTable& t : in.per_node) {
+            for (std::vector<std::uint32_t>& b : route) b.clear();
+            const std::vector<TermId>& keys = t.Column(col);
             for (std::size_t r = 0; r < t.NumRows(); ++r) {
-              int target = HashToNode(t.At(r, col), n);
-              routed[c][target].AppendRow(t.RowPtr(r));
+              route[HashToNode(keys[r], n)].push_back(
+                  static_cast<std::uint32_t>(r));
+            }
+            for (int target = 0; target < n; ++target) {
+              routed[c][target].AppendGather(t, route[target].data(),
+                                             route[target].size());
             }
           }
           // Deliver (and count) at the receiving end so per-node sums
@@ -500,7 +420,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
             rec, m, "repartition_join", n, parallel_nodes_, [&](int i) {
               BindingTable acc = std::move(routed[0][i]);
               for (std::size_t c = 1; c < children.size(); ++c) {
-                acc = HashJoin(acc, routed[c][i]);
+                acc = Join(acc, routed[c][i]);
               }
               out.per_node[i] = std::move(acc);
             }));
@@ -546,9 +466,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
   // Gather and deduplicate the global result.
   BindingTable result(root.table.schema);
   for (const BindingTable& t : root.table.per_node) {
-    for (std::size_t r = 0; r < t.NumRows(); ++r) {
-      result.AppendRow(t.RowPtr(r));
-    }
+    result.AppendFrom(t);
   }
   result.Deduplicate();
   m.result_rows = result.NumRows();

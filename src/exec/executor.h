@@ -96,6 +96,13 @@ struct ExecMetrics {
 ResolvedPattern BindPattern(const TriplePattern& pattern,
                             const JoinGraph& jg, const Dictionary& dict);
 
+/// Which per-node join/scan implementation Execute() runs. kBatch is the
+/// production path (columnar morsel-driven kernels, exec/join_kernel.h);
+/// kRow is the row-at-a-time reference path (exec/reference_join.h) kept
+/// for golden equivalence testing and before/after benchmarks. Both
+/// produce bit-identical BindingTables (DESIGN.md section 13).
+enum class ExecEngine { kRow, kBatch };
+
 class Executor {
  public:
   /// All references must outlive the executor. With `parallel_nodes` the
@@ -105,7 +112,8 @@ class Executor {
   /// FaultScope.
   Executor(const Cluster& cluster, const JoinGraph& jg,
            CostParams cost_params, bool parallel_nodes = false,
-           RetryPolicy retry = RetryPolicy{});
+           RetryPolicy retry = RetryPolicy{},
+           ExecEngine engine = ExecEngine::kBatch);
 
   /// Executes `plan` and returns the deduplicated global result over all
   /// of the query's variables. Fills `metrics` if non-null; on error the
@@ -115,11 +123,16 @@ class Executor {
  private:
   struct DistTable;  // per-node tables; defined in the .cc
 
+  /// Joins two node-local inputs with the configured engine.
+  BindingTable Join(const BindingTable& left,
+                    const BindingTable& right) const;
+
   const Cluster& cluster_;
   const JoinGraph& jg_;
   CostModel cost_model_;
   bool parallel_nodes_;
   RetryPolicy retry_;
+  ExecEngine engine_;
 };
 
 /// Convenience: executes and projects onto the query's SELECT variables.

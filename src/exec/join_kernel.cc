@@ -1,0 +1,164 @@
+#include "exec/join_kernel.h"
+
+#include <algorithm>
+
+namespace parqo {
+namespace {
+
+// One probe morsel's matches: parallel index arrays into the probe and
+// build tables. Chunks are reduced in morsel-index order, which is what
+// keeps the parallel probe's output order identical to the serial one.
+struct MatchChunk {
+  std::vector<std::uint32_t> probe_rows;
+  std::vector<std::uint32_t> build_rows;
+};
+
+// Cross product, left-row-major: (l0,r0..rN), (l1,r0..rN), ... Only
+// arises inside constant-anchored local queries, so it stays serial.
+BindingTable CrossProduct(const BindingTable& left, const BindingTable& right,
+                          BindingTable out) {
+  const std::size_t nl = left.NumRows();
+  const std::size_t nr = right.NumRows();
+  const std::vector<VarId>& schema = out.schema();
+  for (int i = 0; i < out.num_cols(); ++i) {
+    std::vector<TermId>& dst = out.MutableColumn(i);
+    dst.resize(nl * nr);
+    int cl = left.ColumnOf(schema[i]);
+    std::size_t pos = 0;
+    if (cl >= 0) {
+      const std::vector<TermId>& src = left.Column(cl);
+      for (std::size_t lr = 0; lr < nl; ++lr) {
+        TermId v = src[lr];
+        for (std::size_t rr = 0; rr < nr; ++rr) dst[pos++] = v;
+      }
+    } else {
+      const std::vector<TermId>& src = right.Column(right.ColumnOf(schema[i]));
+      for (std::size_t lr = 0; lr < nl; ++lr) {
+        for (std::size_t rr = 0; rr < nr; ++rr) dst[pos++] = src[rr];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<VarId> MergeSchemas(const std::vector<VarId>& a,
+                                const std::vector<VarId>& b) {
+  std::vector<VarId> out = a;
+  for (VarId v : b) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VarId> SharedSchema(const std::vector<VarId>& a,
+                                const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  for (VarId v : a) {
+    if (std::find(b.begin(), b.end(), v) != b.end()) out.push_back(v);
+  }
+  return out;
+}
+
+BindingTable BatchHashJoin(const BindingTable& left, const BindingTable& right,
+                           const BatchJoinOptions& opts) {
+  std::vector<VarId> shared = SharedSchema(left.schema(), right.schema());
+  std::vector<VarId> out_schema = MergeSchemas(left.schema(), right.schema());
+  BindingTable out(out_schema);
+  if (left.NumRows() == 0 || right.NumRows() == 0) return out;
+  if (shared.empty()) return CrossProduct(left, right, std::move(out));
+
+  // Build on the smaller side (ties keep left, matching the reference
+  // row engine so emit order agrees).
+  const bool build_left = left.NumRows() <= right.NumRows();
+  const BindingTable& build = build_left ? left : right;
+  const BindingTable& probe = build_left ? right : left;
+
+  std::vector<const std::vector<TermId>*> build_key, probe_key;
+  for (VarId v : shared) {
+    build_key.push_back(&build.Column(build.ColumnOf(v)));
+    probe_key.push_back(&probe.Column(probe.ColumnOf(v)));
+  }
+
+  const std::size_t probe_rows = probe.NumRows();
+  std::vector<MatchChunk> chunks(NumMorsels(probe_rows, opts.morsel_rows));
+
+  if (shared.size() == 1 && !opts.force_generic_kernel) {
+    // Specialized single-key kernel: the key IS the column; matching is
+    // a direct TermId compare inside the table.
+    SingleKeyJoinTable table;
+    table.Build(*build_key[0]);
+    const std::vector<TermId>& pk = *probe_key[0];
+    ForEachMorsel(probe_rows, opts.morsel_rows, opts.parallel,
+                  [&](std::size_t m, std::size_t begin, std::size_t end) {
+                    MatchChunk& c = chunks[m];
+                    for (std::size_t r = begin; r < end; ++r) {
+                      table.ForEachMatch(pk[r], [&](std::uint32_t b) {
+                        c.probe_rows.push_back(
+                            static_cast<std::uint32_t>(r));
+                        c.build_rows.push_back(b);
+                      });
+                    }
+                  });
+  } else {
+    // Generic kernel: hash the build key columns column-at-a-time, probe
+    // by hash, confirm on the actual key columns.
+    std::vector<std::uint64_t> hashes(build.NumRows(),
+                                      1469598103934665603ULL);
+    for (const std::vector<TermId>* col : build_key) {
+      for (std::size_t r = 0; r < hashes.size(); ++r) {
+        hashes[r] ^= (*col)[r];
+        hashes[r] *= 1099511628211ULL;
+      }
+    }
+    MultiKeyJoinTable table;
+    table.Build(hashes);
+    const std::size_t nkeys = shared.size();
+    ForEachMorsel(probe_rows, opts.morsel_rows, opts.parallel,
+                  [&](std::size_t m, std::size_t begin, std::size_t end) {
+                    MatchChunk& c = chunks[m];
+                    std::vector<TermId> key(nkeys);
+                    for (std::size_t r = begin; r < end; ++r) {
+                      for (std::size_t i = 0; i < nkeys; ++i) {
+                        key[i] = (*probe_key[i])[r];
+                      }
+                      std::uint64_t h = JoinKeyHash(key.data(), nkeys);
+                      table.ForEachHashMatch(h, [&](std::uint32_t b) {
+                        for (std::size_t i = 0; i < nkeys; ++i) {
+                          if ((*build_key[i])[b] != key[i]) return;
+                        }
+                        c.probe_rows.push_back(
+                            static_cast<std::uint32_t>(r));
+                        c.build_rows.push_back(b);
+                      });
+                    }
+                  });
+  }
+
+  // Materialize: one gather per output column, chunks in morsel order.
+  // Shared variables exist on both sides with equal values; prefer the
+  // left source like the reference engine (the choice is value-neutral).
+  std::size_t total = 0;
+  for (const MatchChunk& c : chunks) total += c.probe_rows.size();
+  for (int i = 0; i < out.num_cols(); ++i) {
+    int cl = left.ColumnOf(out_schema[i]);
+    const bool use_left = cl >= 0;
+    const std::vector<TermId>& src =
+        use_left ? left.Column(cl)
+                 : right.Column(right.ColumnOf(out_schema[i]));
+    const bool src_is_build = use_left == build_left;
+    std::vector<TermId>& dst = out.MutableColumn(i);
+    dst.resize(total);
+    std::size_t pos = 0;
+    for (const MatchChunk& c : chunks) {
+      const std::vector<std::uint32_t>& idx =
+          src_is_build ? c.build_rows : c.probe_rows;
+      for (std::uint32_t r : idx) dst[pos++] = src[r];
+    }
+  }
+  return out;
+}
+
+}  // namespace parqo

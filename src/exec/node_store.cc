@@ -1,7 +1,10 @@
 #include "exec/node_store.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <tuple>
+
+#include "common/morsel.h"
 
 namespace parqo {
 namespace {
@@ -17,6 +20,8 @@ struct PosLess {
   }
 };
 
+constexpr TermId kMaxTermId = 0xffffffffu;
+
 }  // namespace
 
 NodeStore::NodeStore(std::vector<Triple> triples) : pso_(std::move(triples)) {
@@ -25,80 +30,91 @@ NodeStore::NodeStore(std::vector<Triple> triples) : pso_(std::move(triples)) {
   std::sort(pos_.begin(), pos_.end(), PosLess{});
 }
 
-void NodeStore::EmitMatch(const ResolvedPattern& pattern, const Triple& t,
-                          BindingTable* out) const {
-  // Repeated-variable patterns require equal bindings.
-  if (pattern.var_s != kInvalidVarId && pattern.var_s == pattern.var_o &&
-      t.s != t.o) {
-    return;
-  }
-  if (pattern.var_s != kInvalidVarId && pattern.var_s == pattern.var_p &&
-      t.s != t.p) {
-    return;
-  }
-  if (pattern.var_p != kInvalidVarId && pattern.var_p == pattern.var_o &&
-      t.p != t.o) {
-    return;
-  }
-  TermId row[3];
-  for (std::size_t i = 0; i < pattern.schema.size(); ++i) {
-    VarId v = pattern.schema[i];
-    if (v == pattern.var_s) {
-      row[i] = t.s;
-    } else if (v == pattern.var_p) {
-      row[i] = t.p;
-    } else {
-      row[i] = t.o;
-    }
-  }
-  out->AppendRow(row);
-}
-
-BindingTable NodeStore::Scan(const ResolvedPattern& pattern) const {
+BindingTable NodeStore::Scan(const ResolvedPattern& pattern,
+                             std::size_t morsel_rows, bool parallel) const {
   BindingTable out(pattern.schema);
   if (pattern.unmatchable) return out;
 
-  auto match_rest = [&](const Triple& t) {
+  // Narrow to the sorted range the pattern's constants allow: (p, s) in
+  // PSO, (p, o) in POS, p-only in PSO; a variable predicate scans all.
+  const std::vector<Triple>* vec = &pso_;
+  std::size_t begin = 0;
+  std::size_t end = pso_.size();
+  if (pattern.p != kInvalidTermId) {
+    if (pattern.s != kInvalidTermId) {
+      Triple lo{pattern.s, pattern.p, 0};
+      Triple hi{pattern.s, pattern.p, kMaxTermId};
+      begin = std::lower_bound(pso_.begin(), pso_.end(), lo, PsoLess{}) -
+              pso_.begin();
+      end = std::upper_bound(pso_.begin(), pso_.end(), hi, PsoLess{}) -
+            pso_.begin();
+    } else if (pattern.o != kInvalidTermId) {
+      vec = &pos_;
+      Triple lo{0, pattern.p, pattern.o};
+      Triple hi{kMaxTermId, pattern.p, pattern.o};
+      begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess{}) -
+              pos_.begin();
+      end = std::upper_bound(pos_.begin(), pos_.end(), hi, PosLess{}) -
+            pos_.begin();
+    } else {
+      Triple lo{0, pattern.p, 0};
+      Triple hi{kMaxTermId, pattern.p, kMaxTermId};
+      begin = std::lower_bound(pso_.begin(), pso_.end(), lo, PsoLess{}) -
+              pso_.begin();
+      end = std::upper_bound(pso_.begin(), pso_.end(), hi, PsoLess{}) -
+            pso_.begin();
+    }
+  }
+  if (begin >= end) return out;
+  const Triple* triples = vec->data();
+
+  // Filter pass, pushed ahead of materialization: constant equality (a
+  // no-op for positions the range already pins) and repeated-variable
+  // equality run over the raw triples; survivors are kept as indexes.
+  const bool need_so = pattern.var_s != kInvalidVarId &&
+                       pattern.var_s == pattern.var_o;
+  const bool need_sp = pattern.var_s != kInvalidVarId &&
+                       pattern.var_s == pattern.var_p;
+  const bool need_po = pattern.var_p != kInvalidVarId &&
+                       pattern.var_p == pattern.var_o;
+  auto matches = [&](const Triple& t) {
     return (pattern.s == kInvalidTermId || t.s == pattern.s) &&
            (pattern.p == kInvalidTermId || t.p == pattern.p) &&
-           (pattern.o == kInvalidTermId || t.o == pattern.o);
+           (pattern.o == kInvalidTermId || t.o == pattern.o) &&
+           (!need_so || t.s == t.o) && (!need_sp || t.s == t.p) &&
+           (!need_po || t.p == t.o);
   };
 
-  if (pattern.p == kInvalidTermId) {
-    // Variable predicate: full scan.
-    for (const Triple& t : pso_) {
-      if (match_rest(t)) EmitMatch(pattern, t, &out);
-    }
-    return out;
-  }
+  const std::size_t n = end - begin;
+  std::vector<std::vector<std::uint32_t>> keep(NumMorsels(n, morsel_rows));
+  ForEachMorsel(n, morsel_rows, parallel,
+                [&](std::size_t m, std::size_t mb, std::size_t me) {
+                  std::vector<std::uint32_t>& k = keep[m];
+                  for (std::size_t i = mb; i < me; ++i) {
+                    std::uint32_t idx =
+                        static_cast<std::uint32_t>(begin + i);
+                    if (matches(triples[idx])) k.push_back(idx);
+                  }
+                });
 
-  if (pattern.s != kInvalidTermId) {
-    // (p, s) range in PSO.
-    Triple lo{pattern.s, pattern.p, 0};
-    auto begin = std::lower_bound(pso_.begin(), pso_.end(), lo, PsoLess{});
-    for (auto it = begin;
-         it != pso_.end() && it->p == pattern.p && it->s == pattern.s;
-         ++it) {
-      if (match_rest(*it)) EmitMatch(pattern, *it, &out);
+  // Materialize: one gather per output column from the matching triple
+  // field; morsel-order concatenation keeps triple-index row order.
+  std::size_t total = 0;
+  for (const std::vector<std::uint32_t>& k : keep) total += k.size();
+  for (int c = 0; c < out.num_cols(); ++c) {
+    VarId v = pattern.schema[c];
+    // Source-field precedence matches the row-at-a-time emitter this
+    // replaced: s, then p, then o.
+    const int field = v == pattern.var_s ? 0 : v == pattern.var_p ? 1 : 2;
+    std::vector<TermId>& dst = out.MutableColumn(c);
+    dst.resize(total);
+    std::size_t pos = 0;
+    for (const std::vector<std::uint32_t>& k : keep) {
+      for (std::uint32_t idx : k) {
+        const Triple& t = triples[idx];
+        dst[pos++] = field == 0 ? t.s : field == 1 ? t.p : t.o;
+      }
     }
-    return out;
-  }
-  if (pattern.o != kInvalidTermId) {
-    // (p, o) range in POS.
-    Triple lo{0, pattern.p, pattern.o};
-    auto begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess{});
-    for (auto it = begin;
-         it != pos_.end() && it->p == pattern.p && it->o == pattern.o;
-         ++it) {
-      if (match_rest(*it)) EmitMatch(pattern, *it, &out);
-    }
-    return out;
-  }
-  // Predicate-only range in PSO.
-  Triple lo{0, pattern.p, 0};
-  auto begin = std::lower_bound(pso_.begin(), pso_.end(), lo, PsoLess{});
-  for (auto it = begin; it != pso_.end() && it->p == pattern.p; ++it) {
-    EmitMatch(pattern, *it, &out);
   }
   return out;
 }

@@ -40,13 +40,17 @@ class NodeStore {
 
   std::size_t NumTriples() const { return pso_.size(); }
 
-  /// Scans this node's triples for `pattern` matches.
-  BindingTable Scan(const ResolvedPattern& pattern) const;
+  /// Scans this node's triples for `pattern` matches. Vectorized: the
+  /// constant and repeated-variable filters run over the sorted triple
+  /// range first (optionally split into `morsel_rows`-sized morsels,
+  /// dispatched over the shared pool when `parallel`), then the output
+  /// columns are materialized by one gather per column. Output row order
+  /// is triple-index order regardless of morseling. morsel_rows == 0
+  /// means one morsel.
+  BindingTable Scan(const ResolvedPattern& pattern,
+                    std::size_t morsel_rows = 0, bool parallel = false) const;
 
  private:
-  void EmitMatch(const ResolvedPattern& pattern, const Triple& t,
-                 BindingTable* out) const;
-
   std::vector<Triple> pso_;  // sorted by (p, s, o)
   std::vector<Triple> pos_;  // sorted by (p, o, s)
 };

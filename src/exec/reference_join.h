@@ -1,0 +1,29 @@
+// Row-at-a-time reference hash join: the pre-vectorization execution
+// path, kept in-tree as the oracle for the batch kernels. The golden
+// equivalence test (tests/engine_equivalence_test.cc) runs every query
+// through both engines and demands bit-identical BindingTables, so this
+// implementation pins down the canonical output order both engines
+// share: probe rows ascending (probe = the larger input; ties build
+// left), matching build rows ascending, cross product left-row-major.
+//
+// This file is deliberately slow and simple — per-row key
+// materialization, per-row AppendRow — and is exempt from the
+// exec-row-hot-path lint rule because being the row-at-a-time oracle is
+// its entire job.
+
+#ifndef PARQO_EXEC_REFERENCE_JOIN_H_
+#define PARQO_EXEC_REFERENCE_JOIN_H_
+
+#include "exec/binding_table.h"
+
+namespace parqo {
+
+/// Hash join of two tables on all shared variables (cross product when
+/// none are shared), row at a time. Same schema, rows, and row ORDER as
+/// BatchHashJoin — by construction, not by sorting.
+BindingTable ReferenceHashJoin(const BindingTable& left,
+                               const BindingTable& right);
+
+}  // namespace parqo
+
+#endif  // PARQO_EXEC_REFERENCE_JOIN_H_

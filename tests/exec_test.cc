@@ -7,6 +7,8 @@
 #include "exec/binding_table.h"
 #include "exec/cluster.h"
 #include "exec/executor.h"
+#include "exec/join_kernel.h"
+#include "exec/reference_join.h"
 #include "partition/hash_so.h"
 #include "plan/plan.h"
 #include "rdf/ntriples.h"
@@ -17,6 +19,13 @@ namespace parqo {
 namespace {
 
 using testing::Tp;
+
+BindingTable MakeTable(std::vector<VarId> schema,
+                       const std::vector<std::vector<TermId>>& rows) {
+  BindingTable t(std::move(schema));
+  for (const std::vector<TermId>& r : rows) t.AppendRow(r);
+  return t;
+}
 
 TEST(BindingTableTest, DeduplicateAndProject) {
   BindingTable t({0, 1});
@@ -32,6 +41,193 @@ TEST(BindingTableTest, DeduplicateAndProject) {
   EXPECT_EQ(p.At(0, 0), 1u);
   EXPECT_EQ(t.ColumnOf(1), 1);
   EXPECT_EQ(t.ColumnOf(9), -1);
+}
+
+TEST(BindingTableTest, DeduplicateEdgeCases) {
+  // Empty schema: a table with no columns has no rows by definition.
+  BindingTable empty;
+  empty.Deduplicate();
+  EXPECT_EQ(empty.NumRows(), 0u);
+  EXPECT_EQ(empty.num_cols(), 0);
+
+  // All-duplicate input collapses to one row.
+  BindingTable dup({0, 1});
+  for (int i = 0; i < 100; ++i) dup.AppendRow(std::vector<TermId>{7, 9});
+  dup.Deduplicate();
+  ASSERT_EQ(dup.NumRows(), 1u);
+  EXPECT_EQ(dup.At(0, 0), 7u);
+  EXPECT_EQ(dup.At(0, 1), 9u);
+
+  // Keep-first order: survivors appear in first-occurrence order.
+  BindingTable t = MakeTable({0}, {{3}, {1}, {3}, {2}, {1}});
+  t.Deduplicate();
+  ASSERT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.At(0, 0), 3u);
+  EXPECT_EQ(t.At(1, 0), 1u);
+  EXPECT_EQ(t.At(2, 0), 2u);
+}
+
+TEST(BindingTableTest, ProjectEdgeCases) {
+  BindingTable t = MakeTable({0, 1}, {{1, 2}, {1, 3}, {1, 2}});
+
+  // Zero-column projection: no schema means no rows.
+  BindingTable none = t.Project({});
+  EXPECT_EQ(none.num_cols(), 0);
+  EXPECT_EQ(none.NumRows(), 0u);
+
+  // All-duplicate on the projected column.
+  BindingTable one = t.Project({0});
+  ASSERT_EQ(one.NumRows(), 1u);
+  EXPECT_EQ(one.At(0, 0), 1u);
+
+  // Projecting an empty table keeps the schema, zero rows.
+  BindingTable empty_in({0, 1});
+  BindingTable empty_out = empty_in.Project({1});
+  EXPECT_EQ(empty_out.num_cols(), 1);
+  EXPECT_EQ(empty_out.NumRows(), 0u);
+}
+
+TEST(BindingTableTest, AppendFromAndAppendGather) {
+  BindingTable src = MakeTable({0, 1}, {{1, 10}, {2, 20}, {3, 30}});
+  BindingTable dst({0, 1});
+  dst.AppendFrom(src);
+  dst.AppendFrom(src);
+  ASSERT_EQ(dst.NumRows(), 6u);
+  EXPECT_EQ(dst.At(4, 0), 2u);
+  EXPECT_EQ(dst.At(4, 1), 20u);
+
+  BindingTable picked({0, 1});
+  const std::uint32_t rows[] = {2, 0, 2};
+  picked.AppendGather(src, rows, 3);
+  EXPECT_EQ(picked, MakeTable({0, 1}, {{3, 30}, {1, 10}, {3, 30}}));
+}
+
+// ---------------------------------------------------------------------------
+// Batch join kernels vs the row-at-a-time reference: operator== demands
+// identical schema, rows, AND row order, so these also pin the canonical
+// emit order (probe ascending, build matches ascending).
+
+TEST(JoinKernelTest, EmptyBuildSide) {
+  BindingTable left({0, 1});  // empty: becomes the build side
+  BindingTable right = MakeTable({1, 2}, {{1, 5}, {2, 6}});
+  BindingTable batch = BatchHashJoin(left, right);
+  EXPECT_EQ(batch.NumRows(), 0u);
+  EXPECT_EQ(batch.schema(), (std::vector<VarId>{0, 1, 2}));
+  EXPECT_EQ(batch, ReferenceHashJoin(left, right));
+}
+
+TEST(JoinKernelTest, EmptyProbeSide) {
+  BindingTable left = MakeTable({0, 1}, {{1, 2}, {3, 4}});
+  BindingTable right({1, 2});  // empty: the larger left would probe
+  BindingTable batch = BatchHashJoin(left, right);
+  EXPECT_EQ(batch.NumRows(), 0u);
+  EXPECT_EQ(batch, ReferenceHashJoin(left, right));
+}
+
+TEST(JoinKernelTest, FullySharedSchemas) {
+  // Identical schemas: the key is every column (generic kernel), and the
+  // join is an order-preserving multiset intersection.
+  BindingTable left = MakeTable({0, 1}, {{1, 2}, {3, 4}, {5, 6}, {1, 2}});
+  BindingTable right = MakeTable({0, 1}, {{3, 4}, {1, 2}, {7, 8}});
+  BindingTable batch = BatchHashJoin(left, right);
+  EXPECT_EQ(batch, ReferenceHashJoin(left, right));
+  // right built (3 < 4 rows); probe = left rows in order, {5,6} unmatched.
+  EXPECT_EQ(batch,
+            MakeTable({0, 1}, {{1, 2}, {3, 4}, {1, 2}}));
+}
+
+TEST(JoinKernelTest, CrossProductWhenNoSharedVars) {
+  BindingTable left = MakeTable({0}, {{1}, {2}});
+  BindingTable right = MakeTable({1}, {{10}, {20}, {30}});
+  BindingTable batch = BatchHashJoin(left, right);
+  EXPECT_EQ(batch, ReferenceHashJoin(left, right));
+  // Left-row-major order.
+  EXPECT_EQ(batch, MakeTable({0, 1}, {{1, 10}, {1, 20}, {1, 30},
+                                      {2, 10}, {2, 20}, {2, 30}}));
+}
+
+TEST(JoinKernelTest, MultiKeyJoinMatchesReference) {
+  // Two shared variables exercise the generic kernel with hash-match plus
+  // key confirmation.
+  BindingTable left = MakeTable(
+      {0, 1, 2}, {{1, 2, 9}, {1, 3, 8}, {4, 2, 7}, {1, 2, 6}});
+  BindingTable right =
+      MakeTable({0, 1, 3}, {{1, 2, 100}, {4, 2, 200}, {9, 9, 300}});
+  BindingTable batch = BatchHashJoin(left, right);
+  EXPECT_EQ(batch, ReferenceHashJoin(left, right));
+  EXPECT_EQ(batch.NumRows(), 3u);
+}
+
+TEST(JoinKernelTest, MorselBoundaryRowCounts) {
+  // Probe-side row counts around the morsel size: 0, 1, m-1, m, m+1.
+  // Build side has 2 rows so any probe >= 2 keeps sides fixed; the
+  // serial single-morsel result is the order oracle.
+  constexpr std::size_t kMorsel = 4;
+  const std::size_t kCounts[] = {0, 1, kMorsel - 1, kMorsel, kMorsel + 1};
+  for (std::size_t probe_rows : kCounts) {
+    SCOPED_TRACE(probe_rows);
+    BindingTable left = MakeTable({0, 1}, {{1, 100}, {2, 200}});
+    BindingTable right({0, 2});
+    for (std::size_t r = 0; r < probe_rows; ++r) {
+      // Keys cycle 1,2,3: some rows match each build row, some none.
+      right.AppendRow(std::vector<TermId>{static_cast<TermId>(r % 3 + 1),
+                                          static_cast<TermId>(r)});
+    }
+    BindingTable oracle = ReferenceHashJoin(left, right);
+    for (bool parallel : {false, true}) {
+      BatchJoinOptions opts;
+      opts.morsel_rows = kMorsel;
+      opts.parallel = parallel;
+      EXPECT_EQ(BatchHashJoin(left, right, opts), oracle)
+          << (parallel ? "parallel" : "serial");
+    }
+  }
+}
+
+TEST(JoinKernelTest, SingleKeyCollisionsStaySeparate) {
+  // Regression for the single-key fast path: two distinct TermIds whose
+  // hashes collide under the table mask must never cross-match. With a
+  // 3-row build the capacity is 16; hunt for a colliding partner.
+  const TermId k1 = 1;
+  const std::uint64_t home = JoinKeyHash(k1) & 15u;
+  TermId k2 = kInvalidTermId;
+  for (TermId t = 2; t < 1000000; ++t) {
+    if ((JoinKeyHash(t) & 15u) == home) {
+      k2 = t;
+      break;
+    }
+  }
+  ASSERT_NE(k2, kInvalidTermId) << "no colliding TermId found";
+
+  SingleKeyJoinTable table;
+  table.Build({k1, k2, k1});
+  std::vector<std::uint32_t> hits;
+  table.ForEachMatch(k1, [&](std::uint32_t r) { hits.push_back(r); });
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{0, 2}));  // ascending
+  hits.clear();
+  table.ForEachMatch(k2, [&](std::uint32_t r) { hits.push_back(r); });
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{1}));
+
+  // End to end: the colliding keys join only with themselves.
+  BindingTable left = MakeTable({0, 1}, {{k1, 10}, {k2, 20}, {k1, 30}});
+  BindingTable right = MakeTable({0, 2}, {{k2, 1}, {k1, 2}, {k1, 3}, {9, 4}});
+  BindingTable batch = BatchHashJoin(left, right);
+  EXPECT_EQ(batch, ReferenceHashJoin(left, right));
+  EXPECT_EQ(batch.NumRows(), 5u);  // k1: 2x2 pairings, k2: 1x1
+}
+
+TEST(JoinKernelTest, GenericKernelMatchesSpecialized) {
+  BindingTable left({0, 1});
+  BindingTable right({1, 2});
+  for (TermId r = 0; r < 257; ++r) {
+    left.AppendRow(std::vector<TermId>{r, r % 17});
+    right.AppendRow(std::vector<TermId>{r % 17, r + 1000});
+  }
+  BatchJoinOptions generic;
+  generic.force_generic_kernel = true;
+  BindingTable fast = BatchHashJoin(left, right);
+  EXPECT_EQ(fast, BatchHashJoin(left, right, generic));
+  EXPECT_EQ(fast, ReferenceHashJoin(left, right));
 }
 
 TEST(NodeStoreTest, ScansByPatternShape) {
@@ -69,6 +265,36 @@ TEST(NodeStoreTest, ScansByPatternShape) {
   ResolvedPattern unmatch = all_p;
   unmatch.unmatchable = true;
   EXPECT_EQ(store.Scan(unmatch).NumRows(), 0u);
+}
+
+TEST(NodeStoreTest, MorselScanMatchesSingleMorsel) {
+  // Scan output must be identical (including row order) for any morsel
+  // size, serial or parallel.
+  std::vector<Triple> triples;
+  for (TermId s = 1; s <= 200; ++s) {
+    triples.push_back({s, 5, s % 7 + 1});
+  }
+  NodeStore store(std::move(triples));
+  ResolvedPattern pat;  // ?x <5> ?y
+  pat.p = 5;
+  pat.var_s = 0;
+  pat.var_o = 1;
+  pat.schema = {0, 1};
+  BindingTable oracle = store.Scan(pat);
+  ASSERT_EQ(oracle.NumRows(), 200u);
+  for (std::size_t morsel : {1u, 7u, 64u, 1024u}) {
+    for (bool parallel : {false, true}) {
+      EXPECT_EQ(store.Scan(pat, morsel, parallel), oracle)
+          << morsel << (parallel ? " parallel" : " serial");
+    }
+  }
+
+  // Constant-object filter pushed into the scan, morseled.
+  ResolvedPattern with_o = pat;
+  with_o.o = 3;
+  with_o.var_o = kInvalidVarId;
+  with_o.schema = {0};
+  EXPECT_EQ(store.Scan(with_o, 16, true), store.Scan(with_o));
 }
 
 TEST(NodeStoreTest, RepeatedVariableFiltersRows) {

@@ -39,6 +39,15 @@ Four rule families, each guarding an invariant the compiler cannot see:
                         write is a data race TSan only catches when the
                         interleaving cooperates.
 
+  exec-row-hot-path     Row-at-a-time constructs inside the vectorized
+                        per-node execution hot path (DESIGN.md §13):
+                        std::unordered_multimap join state, or per-row
+                        AppendRow calls. The batch engine's contract is
+                        one hash probe and one gather per morsel, not a
+                        node allocation or a row copy per tuple;
+                        reference_join.cc is the sanctioned row-at-a-time
+                        oracle and is exempt. Cold paths carry an allow().
+
   naked-sleep           Sleeps (sleep/usleep/nanosleep/sleep_for/
                         sleep_until) and predicate-less condition-variable
                         waits outside src/common/fault.*. All simulated
@@ -88,6 +97,20 @@ ARENA_HOT_PATH_FILES = {
     "src/optimizer/dp_bushy.cc",
 }
 
+# Files on the per-node execution hot path (DESIGN.md §13). Joins here go
+# through the open-addressed kernels in join_kernel.cc and rows move in
+# columnar gathers; a std::unordered_multimap or a per-row AppendRow call
+# reintroduces the row-at-a-time engine this path replaced. The oracle
+# (reference_join.cc) and the cold-path API definition (binding_table.h)
+# are deliberately not listed.
+EXEC_HOT_PATH_FILES = {
+    "src/exec/executor.cc",
+    "src/exec/node_store.cc",
+    "src/exec/binding_table.cc",
+    "src/exec/join_kernel.h",
+    "src/exec/join_kernel.cc",
+}
+
 ALLOW_RE = re.compile(r"//\s*parqo-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
 
 UNORDERED_DECL_RE = re.compile(
@@ -115,6 +138,8 @@ METRIC_GLOBAL_RE = re.compile(
     r"^\s*(?:static\s+)?(?:double|float|int|long|unsigned|std::u?int\d+_t|"
     r"u?int\d+_t|std::size_t|size_t)\s+g?_?\w*(?:metric|counter)\w*\s*[={;]"
 )
+UNORDERED_MULTIMAP_RE = re.compile(r"std::unordered_multimap\s*<")
+APPEND_ROW_CALL_RE = re.compile(r"[.>]\s*AppendRow\s*\(")
 SLEEP_RE = re.compile(
     r"\b(?:sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\("
 )
@@ -262,6 +287,7 @@ class Linter:
         self.check_naked_new(rel, code_lines, allowed)
         self.check_std_function(rel, code_lines, allowed)
         self.check_shared_plan(rel, code_lines, allowed)
+        self.check_exec_row(rel, code_lines, allowed)
         self.check_metric_writes(rel, code_lines, allowed)
         self.check_naked_sleep(rel, code_lines, allowed)
 
@@ -336,6 +362,26 @@ class Linter:
                 "(ScanIn/JoinIn/LocalJoinAllIn) and materialize only the "
                 "winner, or justify the cold path with allow(%s)" % rule,
             )
+
+    def check_exec_row(self, rel, code_lines, allowed):
+        rule = "exec-row-hot-path"
+        if rel not in EXEC_HOT_PATH_FILES:
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            msg = None
+            if UNORDERED_MULTIMAP_RE.search(code):
+                msg = ("std::unordered_multimap join state in the batch "
+                       "execution hot path: use the open-addressed "
+                       "SingleKeyJoinTable/MultiKeyJoinTable kernels "
+                       "(src/exec/join_kernel.h)")
+            elif APPEND_ROW_CALL_RE.search(code):
+                msg = ("per-row AppendRow in the batch execution hot path: "
+                       "batch with AppendFrom/AppendGather (one gather per "
+                       "column per morsel), or justify the cold path with "
+                       "allow(%s)" % rule)
+            if msg is None or allowed(lineno, rule):
+                continue
+            self.report(rel, lineno, rule, msg)
 
     def check_metric_writes(self, rel, code_lines, allowed):
         rule = "metric-write"
