@@ -22,6 +22,11 @@ timeout 2400 /root/repo/build/bench/bench_parallel --threads=1,2,4,8 \
   --json=/root/repo/BENCH_parallel.json >> "$out" 2>&1
 echo "(exit: $?)" >> "$out"
 echo >> "$out"
+echo "############ bench_serve ############" >> "$out"
+timeout 2400 /root/repo/build/bench/bench_serve \
+  --json=/root/repo/BENCH_serve.json >> "$out" 2>&1
+echo "(exit: $?)" >> "$out"
+echo >> "$out"
 echo "############ bench_micro ############" >> "$out"
 timeout 900 /root/repo/build/bench/bench_micro --benchmark_min_time=0.2 >> "$out" 2>&1
 echo "(exit: $?)" >> "$out"

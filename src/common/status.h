@@ -27,6 +27,11 @@ enum class StatusCode {
   kUnavailable,
   /// A deadline expired before the operation could finish.
   kDeadlineExceeded,
+  /// Admission control turned the request away: the serving layer is at
+  /// its bounded in-flight capacity. Nothing was attempted; the caller
+  /// should back off and re-submit. Distinct from kUnavailable, which
+  /// means the work *ran* and exhausted its retries.
+  kOverloaded,
 };
 
 /// A success-or-error value; cheap to copy on the success path.
@@ -57,6 +62,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Overloaded(std::string m) {
+    return Status(StatusCode::kOverloaded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

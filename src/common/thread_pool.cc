@@ -14,18 +14,35 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    // Workers drain the queue before exiting (see WorkerLoop), so every
+    // task enqueued before stop_ was set still runs exactly once.
+    for (std::thread& t : threads_) t.join();
+  });
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      // The pool is stopping or stopped: the workers may already have
+      // observed an empty queue and exited, so an enqueued task could sit
+      // in the queue forever — the submit-after-shutdown hazard the
+      // serving pipeline exposed. Run it inline instead; fire-and-forget
+      // work is never lost, and a ParallelFor helper submitted this way
+      // simply drains on the calling thread (serial but correct).
+      lock.unlock();
+      task();
+      return;
+    }
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();

@@ -30,12 +30,25 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains queued tasks, then joins the workers.
+  /// Drains queued tasks, then joins the workers (via Shutdown).
   ~ThreadPool();
 
   int size() const { return static_cast<int>(threads_.size()); }
 
-  /// Enqueues a fire-and-forget task.
+  /// Stops the pool: drains every task already queued, then joins the
+  /// workers. Idempotent and safe to call concurrently with Submit and
+  /// ParallelFor from other threads (concurrent callers of Shutdown block
+  /// until the first one finishes) — only destruction itself requires
+  /// external quiescence. After Shutdown, Submit runs tasks inline on the
+  /// calling thread and ParallelFor degrades to a serial loop, so no work
+  /// handed to a stopped pool is ever silently lost. The serving layer's
+  /// session pipeline relies on this: a session that races server
+  /// teardown must complete its task, not hang on a task nobody will run.
+  void Shutdown();
+
+  /// Enqueues a fire-and-forget task. If the pool has been shut down (or
+  /// is shutting down), the task runs inline on the calling thread before
+  /// Submit returns — it is never dropped.
   void Submit(std::function<void()> task);
 
   /// Runs fn(0), ..., fn(n-1), distributed over up to `max_workers`
@@ -61,6 +74,9 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  /// Serializes Shutdown: the first caller joins the workers, concurrent
+  /// callers (including the destructor) block until it is done.
+  std::once_flag shutdown_once_;
 };
 
 }  // namespace parqo

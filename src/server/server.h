@@ -1,0 +1,163 @@
+// The serving layer (DESIGN.md section 14): a session pipeline that
+// drives concurrent clients through canonicalize -> plan-cache lookup ->
+// (miss) parallel optimize -> execute on the simulated cluster. This is
+// the multi-user SPARQL endpoint shape the paper's engines assume
+// (Partout, PHD-Store): a stream of templated queries whose optimization
+// cost must be paid once per template, not once per request.
+//
+// Pipeline per request:
+//
+//   1. admission  - bounded in-flight slots; at capacity the request is
+//                   rejected with StatusCode::kOverloaded before any work.
+//   2. signature  - CanonicalizeBgp maps the BGP to its canonical form
+//                   (server/signature.h); execution happens in canonical
+//                   space and ServeResult::var_names maps back.
+//   3. cache      - sharded LRU keyed on signature x partitioning scheme,
+//                   copy-out semantics (server/plan_cache.h).
+//   4. optimize   - on a miss: PreparedQuery + Optimize() under the
+//                   per-query deadline (OptimizeOptions::deadline).
+//                   Deadline-degraded plans are cached with the degraded
+//                   flag; a later unhurried hit re-optimizes and upgrades
+//                   the entry rather than being poisoned by it.
+//   5. execute    - Executor on the shared cluster; the PR 4 fault layer
+//                   (FaultScope) runs underneath unchanged, so recovery
+//                   happens while serving and an unrecoverable query
+//                   returns typed kUnavailable, never a wrong result.
+//
+// Thread safety: Serve() is safe to call from any number of threads.
+// Shared state is the sharded cache, the atomic admission counters, and
+// the metrics registry; everything per-request lives on the session's
+// stack.
+
+#ifndef PARQO_SERVER_SERVER_H_
+#define PARQO_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "exec/binding_table.h"
+#include "exec/cluster.h"
+#include "exec/executor.h"
+#include "optimizer/parallel_optimizer.h"
+#include "optimizer/prepared_query.h"
+#include "rdf/graph.h"
+#include "server/admission.h"
+#include "server/plan_cache.h"
+#include "server/signature.h"
+#include "sparql/query.h"
+
+namespace parqo {
+
+struct ServerConfig {
+  Algorithm algorithm = Algorithm::kTdAuto;
+  /// Base optimizer options; the per-query deadline below overwrites
+  /// `options.deadline` on every miss.
+  OptimizeOptions options;
+  /// Per-query optimization deadline in seconds; <= 0 serves without one.
+  double query_deadline_seconds = 0;
+  /// In-flight capacity for admission control.
+  int max_in_flight = 64;
+  int cache_shards = 8;
+  std::size_t cache_shard_capacity = 64;
+  /// A hit on a degraded entry re-optimizes (so a deadline casualty never
+  /// poisons future requests that have budget) and upgrades the entry
+  /// when the re-optimization completes cleanly.
+  bool reoptimize_degraded_hits = true;
+  /// Serving pool size (ServeConcurrent workers and intra-query
+  /// optimizer threads); <= 0 selects hardware_concurrency.
+  int num_threads = 0;
+  /// Executor knobs; `retry` bounds fault recovery under a FaultScope.
+  bool parallel_exec_nodes = false;
+  ExecEngine engine = ExecEngine::kBatch;
+  RetryPolicy retry;
+};
+
+/// Everything one served request produced.
+struct ServeResult {
+  /// kOverloaded (admission), kInvalidArgument (empty/oversized BGP),
+  /// kDeadlineExceeded (optimizer timeout with no plan), kUnavailable
+  /// (execution faults exhausted retries) — or OK.
+  Status status;
+
+  bool cache_hit = false;       ///< Plan came from the cache.
+  bool degraded = false;        ///< The plan used was deadline-degraded.
+  bool reoptimized = false;     ///< A degraded hit was re-optimized.
+  bool exact_signature = true;  ///< CanonicalBgp::exact.
+
+  double optimize_seconds = 0;  ///< 0 on a pure cache hit.
+  double execute_seconds = 0;
+  double total_seconds = 0;  ///< End-to-end, admission to result.
+
+  double plan_cost = 0;
+  Algorithm algorithm_used = Algorithm::kTdAuto;
+  std::string signature;
+  PlanNodePtr plan;  ///< In canonical space; shared with the cache.
+
+  /// Deduplicated bindings over all query variables, schema'd by the
+  /// canonical JoinGraph's VarIds; canonical variable "xk" corresponds to
+  /// var_names[k] in the caller's spelling.
+  BindingTable rows;
+  std::vector<std::string> var_names;
+  ExecMetrics exec_metrics;
+};
+
+class QueryServer {
+ public:
+  /// `graph`, `cluster`, and `partitioner` are borrowed and must outlive
+  /// the server. `cluster` must have been partitioned by `partitioner` —
+  /// the cache key includes partitioner.name(), which is what keeps plans
+  /// coherent when the same server binary serves differently-partitioned
+  /// clusters.
+  QueryServer(const RdfGraph& graph, const Cluster& cluster,
+              const Partitioner& partitioner, ServerConfig config);
+
+  /// Serves one query end to end. Thread-safe. `deadline_seconds`
+  /// overrides the config's per-query optimization deadline for this
+  /// request: < 0 uses the config, 0 serves without a deadline, > 0 sets
+  /// that budget. A request with a comfortable budget that hits a
+  /// degraded cache entry is exactly the upgrade path described above.
+  ServeResult Serve(const std::vector<TriplePattern>& patterns,
+                    double deadline_seconds = -1);
+
+  /// Replays `stream` with up to `clients` concurrent sessions on the
+  /// serving pool (the calling thread participates). Results come back
+  /// in stream order.
+  std::vector<ServeResult> ServeConcurrent(
+      const std::vector<std::vector<TriplePattern>>& stream, int clients);
+
+  /// As above, but hands each result to `consume(index, result)` the
+  /// moment its session finishes instead of accumulating every result
+  /// table for the whole stream (large replays would otherwise hold all
+  /// materialized bindings at once). `consume` runs on the serving pool,
+  /// concurrently for distinct indexes, exactly once per index.
+  void ServeConcurrent(
+      const std::vector<std::vector<TriplePattern>>& stream, int clients,
+      const std::function<void(std::size_t, ServeResult)>& consume);
+
+  PlanCache& cache() { return cache_; }
+  AdmissionController& admission() { return admission_; }
+  ThreadPool& pool() { return optimizer_.pool(); }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ServeResult ServeAdmitted(const std::vector<TriplePattern>& patterns,
+                            double deadline_seconds);
+
+  const RdfGraph& graph_;
+  const Cluster& cluster_;
+  const Partitioner& partitioner_;
+  ServerConfig config_;
+  StatsSource stats_;
+  PlanCache cache_;
+  AdmissionController admission_;
+  /// Owns the serving pool; also used for batch optimization.
+  ParallelOptimizer optimizer_;
+};
+
+}  // namespace parqo
+
+#endif  // PARQO_SERVER_SERVER_H_

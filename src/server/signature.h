@@ -1,0 +1,81 @@
+// BGP canonicalization for the serving layer's plan cache (DESIGN.md
+// section 14). Two basic graph patterns that differ only by variable
+// spelling, triple-pattern order, or the *values* of subject/object
+// constants must map to one signature, because they share an optimal plan
+// shape: the optimizer sees only the join structure, the predicates, and
+// the statistics. The signature is therefore a complete canonical
+// rendering of the BGP — not a hash — with
+//
+//   - variables renamed to ?x0, ?x1, ... in first-occurrence order over
+//     the canonical pattern list (the order JoinGraph interns VarIds in,
+//     so canonical ?xk is VarId k of a JoinGraph over `patterns`),
+//   - triple patterns sorted into a canonical order,
+//   - subject/object constants parameterized to $0, $1, ... by equality
+//     class (two positions holding the SAME constant share a placeholder;
+//     the values are externalized into `constants`), and
+//   - predicate constants kept literal: the predicate is the workload's
+//     discriminator (WatDiv templates differ chiefly in predicates), and
+//     a cache key that erased it would reuse one template's plan for a
+//     structurally similar query over entirely different relations.
+//
+// Equal signatures imply isomorphic BGPs, so a cache keyed on the
+// signature can never serve a plan for a structurally different query.
+//
+// Canonical ranks come from Weisfeiler–Lehman color refinement over the
+// query's variables and constant classes, with bounded individualization
+// to break residual ties (symmetric queries). Determinism is load-bearing:
+// this file must not iterate any unordered container (the same class of
+// bug as the PR 3 HGR hash-order fix; tools/parqo_lint.py enforces it
+// with the unordered-in-signature rule).
+
+#ifndef PARQO_SERVER_SIGNATURE_H_
+#define PARQO_SERVER_SIGNATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sparql/query.h"
+
+namespace parqo {
+
+/// The canonical form of a basic graph pattern.
+struct CanonicalBgp {
+  /// Canonical rendering, e.g. "?x0 <p> $0 . ?x0 <q> ?x1". Cache key
+  /// material (combined with the partitioning scheme by the plan cache).
+  std::string signature;
+
+  /// The input patterns in canonical order with variables renamed to the
+  /// canonical names and constants left in place. A JoinGraph built from
+  /// this list assigns identical VarIds for every query with the same
+  /// signature, which is what lets a cached plan (whose scan indexes and
+  /// join_var ids live in this space) execute any instance directly.
+  std::vector<TriplePattern> patterns;
+
+  /// Parameter values by placeholder index: constants[k] is this query's
+  /// value for the signature's $k.
+  std::vector<Term> constants;
+
+  /// pattern_perm[i] is the original index of canonical pattern i.
+  std::vector<int> pattern_perm;
+
+  /// var_names[k] is the original spelling of canonical variable ?xk —
+  /// equivalently of VarId k in a JoinGraph built over `patterns`, so a
+  /// result BindingTable's ColumnOf(k) is var_names[k]'s column.
+  std::vector<std::string> var_names;
+
+  /// True when tie-breaking completed within budget, making the form
+  /// provably invariant under renaming and reordering. False only for
+  /// adversarially symmetric queries past the individualization budget;
+  /// the form is still deterministic for byte-identical inputs.
+  bool exact = true;
+};
+
+/// Canonicalizes `patterns` (at most TpSet::kMaxSize entries; callers
+/// validate). Deterministic; invariant under variable renaming, pattern
+/// permutation, and constant-value substitution while `exact` holds.
+CanonicalBgp CanonicalizeBgp(const std::vector<TriplePattern>& patterns);
+
+}  // namespace parqo
+
+#endif  // PARQO_SERVER_SIGNATURE_H_

@@ -170,5 +170,120 @@ TEST(ThreadPoolTest, ParallelForFromInsideSubmittedTask) {
   EXPECT_EQ(total.load(), 32);
 }
 
+// ---------------------------------------------------------------------------
+// Shutdown semantics. The original hazard: workers exit once stop is set
+// and the queue drains, so a Submit that arrives after shutdown parked
+// its task in the queue forever — a ParallelFor whose helpers were
+// submitted that way would hang waiting for indexes nobody runs. The fix
+// contract: Shutdown is explicit and idempotent, post-shutdown Submit
+// runs inline, post-shutdown ParallelFor degrades to a serial loop.
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> ran{0};
+  std::thread::id executed_on;
+  pool.Submit([&] {
+    executed_on = std::this_thread::get_id();
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 1);  // ran before Submit returned, not dropped
+  EXPECT_EQ(executed_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 16);  // the first Shutdown drained everything
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 16);
+}  // ~ThreadPool calls Shutdown a fourth time; must also be a no-op.
+
+TEST(ThreadPoolTest, ParallelForAfterShutdownRunsSeriallyAndCompletely) {
+  ThreadPool pool(4);
+  pool.Shutdown();
+  constexpr int kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  pool.ParallelFor(kN, [&](int i) {
+    int now = concurrent.fetch_add(1) + 1;
+    int p = peak.load();
+    while (now > p && !peak.compare_exchange_weak(p, now)) {
+    }
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    concurrent.fetch_sub(1);
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  // Helpers submitted to a stopped pool drain inline on this thread, so
+  // the loop is serial — and, critically, it terminated.
+  EXPECT_EQ(peak.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentShutdownCallersAllReturnAfterDrain) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&ran] {
+      std::this_thread::yield();
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::vector<std::thread> closers;
+  for (int t = 0; t < 4; ++t) {
+    closers.emplace_back([&pool] { pool.Shutdown(); });
+  }
+  for (std::thread& t : closers) t.join();
+  // Every Shutdown returned only after the queue drained and workers
+  // joined, no matter which caller won the once-flag.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ShutdownStressNeverLosesOrDuplicatesTasks) {
+  // TSan-targeted stress (the thread-sanitizer CI job runs this suite):
+  // producers Submit and run nested ParallelFors while the main thread
+  // shuts the pool down mid-storm. Every submitted task must run exactly
+  // once — on a worker, inline after stop, or via caller participation —
+  // and every ParallelFor must cover all indexes and return.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> submitted{0};
+    std::atomic<int> ran{0};
+    std::atomic<int> pfor_sum{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 3; ++t) {
+      producers.emplace_back([&, t] {
+        while (!stop.load(std::memory_order_acquire)) {
+          if (t == 0) {
+            // Concurrent sessions shape: ParallelFor racing Shutdown.
+            pool.ParallelFor(8, [&pfor_sum](int) {
+              pfor_sum.fetch_add(1, std::memory_order_relaxed);
+            });
+          } else {
+            submitted.fetch_add(1, std::memory_order_relaxed);
+            pool.Submit([&ran] {
+              ran.fetch_add(1, std::memory_order_relaxed);
+            });
+          }
+          std::this_thread::yield();
+        }
+      });
+    }
+    // parqo-lint: allow(naked-sleep) let the storm race shutdown for 1ms
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    pool.Shutdown();  // concurrent with active Submit/ParallelFor
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : producers) t.join();
+    EXPECT_EQ(ran.load(), submitted.load()) << "round " << round;
+    EXPECT_EQ(pfor_sum.load() % 8, 0) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace parqo

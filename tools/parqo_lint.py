@@ -48,6 +48,18 @@ Four rule families, each guarding an invariant the compiler cannot see:
                         reference_join.cc is the sanctioned row-at-a-time
                         oracle and is exempt. Cold paths carry an allow().
 
+  unordered-in-signature
+                        Any std::unordered_* container in the BGP
+                        canonicalizer (src/server/signature.*). The plan
+                        cache keys on the canonical signature, so the
+                        signature must be byte-identical across processes,
+                        platforms, and libstdc++ versions; hash containers
+                        expose seed- and implementation-dependent order to
+                        every loop that touches them. Unlike
+                        unordered-iteration this rule bans the declaration
+                        itself — signature code uses std::map/std::set/
+                        std::sort only, and there is no allow() escape.
+
   naked-sleep           Sleeps (sleep/usleep/nanosleep/sleep_for/
                         sleep_until) and predicate-less condition-variable
                         waits outside src/common/fault.*. All simulated
@@ -146,6 +158,11 @@ SLEEP_RE = re.compile(
 CV_WAIT_RE = re.compile(r"[.>]\s*wait\s*\(")
 # The one sanctioned wait implementation (see SleepSeconds).
 SLEEP_EXEMPT_FILES = {"src/common/fault.h", "src/common/fault.cc"}
+# Canonical-signature computation (plan-cache keys) must be byte-stable
+# across processes and standard-library versions: hash containers are
+# banned outright here, declaration included, with no allow() escape.
+SIGNATURE_FILES = {"src/server/signature.h", "src/server/signature.cc"}
+UNORDERED_ANY_RE = re.compile(r"std::unordered_\w+")
 
 
 def range_for_sequence(code):
@@ -284,6 +301,7 @@ class Linter:
             return rule in allows.get(lineno, set())
 
         self.check_unordered_iteration(rel, code_lines, allowed)
+        self.check_unordered_in_signature(rel, code_lines)
         self.check_naked_new(rel, code_lines, allowed)
         self.check_std_function(rel, code_lines, allowed)
         self.check_shared_plan(rel, code_lines, allowed)
@@ -313,6 +331,24 @@ class Linter:
                 "range-for over unordered container '%s': hash order must "
                 "not feed cost comparisons or plan reductions; sort first "
                 "or justify with allow(%s)" % (seq, rule),
+            )
+
+    def check_unordered_in_signature(self, rel, code_lines):
+        # Deliberately no allowed() hook: a hash container anywhere in the
+        # canonicalizer risks seed-dependent signatures, which silently
+        # splits (or, worse, merges) plan-cache keys.
+        rule = "unordered-in-signature"
+        if rel not in SIGNATURE_FILES:
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            m = UNORDERED_ANY_RE.search(code)
+            if not m:
+                continue
+            self.report(
+                rel, lineno, rule,
+                "%s in signature computation: canonical signatures must be "
+                "byte-stable across processes; use std::map/std::set/"
+                "std::sort (no allow() escape for this rule)" % m.group(0),
             )
 
     def check_naked_new(self, rel, code_lines, allowed):
