@@ -52,7 +52,10 @@ namespace parqo::bench {
 namespace {
 
 std::uint64_t ChaosSeed(std::uint64_t fallback) {
-  const char* env = std::getenv("PARQO_CHAOS_SEED");
+  // Read once from main() before any worker thread exists; nothing in the
+  // process calls setenv, so the getenv data race mt-unsafe guards
+  // against cannot occur here.
+  const char* env = std::getenv("PARQO_CHAOS_SEED");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr || *env == '\0') return fallback;
   return std::strtoull(env, nullptr, 10);
 }

@@ -41,6 +41,7 @@ void FaultPlan::SlowNode(int node, double seconds) {
 void FaultPlan::DropShipments(double p, std::uint64_t seed) {
   PARQO_CHECK(p >= 0 && p <= 1);
   drop_probability_ = p;
+  MutexLock lock(drop_mu_);
   drop_rng_ = Rng(seed);
 }
 
@@ -67,7 +68,7 @@ bool FaultPlan::DeliverShipment() {
   if (drop_probability_ <= 0) return true;
   bool dropped;
   {
-    std::lock_guard<std::mutex> lock(drop_mu_);
+    MutexLock lock(drop_mu_);
     dropped = drop_rng_.Bernoulli(drop_probability_);
   }
   if (dropped) drops_fired_.fetch_add(1, std::memory_order_relaxed);

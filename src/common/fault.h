@@ -29,12 +29,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace parqo {
 
@@ -114,10 +114,16 @@ class FaultPlan {
     double slow_seconds = 0;                 ///< 0 = not a straggler.
   };
 
+  /// Elements are atomics; the vector's shape is fixed at construction.
+  // parqo-lint: allow(guarded-field) per-element atomics, sized in the ctor
   std::vector<NodeSchedule> nodes_;
+  /// Written only by DropShipments during single-threaded plan setup,
+  /// before any FaultScope publishes the plan to executor workers.
+  // parqo-lint: allow(guarded-field) written during single-threaded setup only
   double drop_probability_ = 0;
-  std::mutex drop_mu_;  ///< Guards drop_rng_ (shipments are not hot).
-  Rng drop_rng_{0};
+  /// Guards drop_rng_ (shipments are not hot). Leaf lock.
+  Mutex drop_mu_{LockRank::kFault};
+  Rng drop_rng_ PARQO_GUARDED_BY(drop_mu_) = Rng(0);
   std::atomic<std::uint64_t> crashes_fired_{0};
   std::atomic<std::uint64_t> drops_fired_{0};
   std::atomic<std::uint64_t> slow_ops_{0};

@@ -22,10 +22,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace parqo {
 
@@ -147,12 +148,15 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
+  /// Leaf lock of the hierarchy: guards only the name -> instrument maps
+  /// (instrument updates themselves are lock-free atomics).
+  mutable Mutex mu_{LockRank::kMetrics};
   std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>>
-      counters_;
-  std::map<std::string, std::unique_ptr<MetricGauge>, std::less<>> gauges_;
+      counters_ PARQO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MetricGauge>, std::less<>> gauges_
+      PARQO_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<MetricHistogram>, std::less<>>
-      histograms_;
+      histograms_ PARQO_GUARDED_BY(mu_);
 };
 
 }  // namespace parqo

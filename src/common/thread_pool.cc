@@ -19,7 +19,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Shutdown() {
   std::call_once(shutdown_once_, [this] {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -30,8 +30,9 @@ void ThreadPool::Shutdown() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  bool run_inline = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) {
       // The pool is stopping or stopped: the workers may already have
       // observed an empty queue and exited, so an enqueued task could sit
@@ -39,11 +40,14 @@ void ThreadPool::Submit(std::function<void()> task) {
       // serving pipeline exposed. Run it inline instead; fire-and-forget
       // work is never lost, and a ParallelFor helper submitted this way
       // simply drains on the calling thread (serial but correct).
-      lock.unlock();
-      task();
-      return;
+      run_inline = true;
+    } else {
+      queue_.push_back(std::move(task));
     }
-    queue_.push_back(std::move(task));
+  }
+  if (run_inline) {
+    task();
+    return;
   }
   cv_.notify_one();
 }
@@ -52,8 +56,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) lock.Wait(cv_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -76,11 +80,14 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
   // wakes up after all items are done (and ParallelFor has returned) still
   // has valid state to observe.
   struct State {
-    const std::function<void(int)>* fn;
-    int n;
+    // parqo-lint: allow(guarded-field) written before the state is shared
+    const std::function<void(int)>* fn = nullptr;
+    // parqo-lint: allow(guarded-field) written before the state is shared
+    int n = 0;
     std::atomic<int> next{0};
     std::atomic<int> done{0};
-    std::mutex mu;
+    /// The completion latch only; the work counters above are atomics.
+    Mutex mu{LockRank::kPoolJoin};
     std::condition_variable cv;
   };
   auto state = std::make_shared<State>();
@@ -92,7 +99,7 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
     while ((i = s.next.fetch_add(1, std::memory_order_relaxed)) < s.n) {
       (*s.fn)(i);
       if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
-        std::lock_guard<std::mutex> lock(s.mu);
+        MutexLock lock(s.mu);
         s.cv.notify_all();
       }
     }
@@ -103,10 +110,10 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn,
   }
   drain(*state);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) >= state->n;
-  });
+  MutexLock lock(state->mu);
+  while (state->done.load(std::memory_order_acquire) < state->n) {
+    lock.Wait(state->cv);
+  }
 }
 
 int ThreadPool::DefaultConcurrency() {

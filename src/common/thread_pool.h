@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace parqo {
 
 class ThreadPool {
@@ -69,11 +71,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Written once in the constructor, joined exactly once through
+  /// shutdown_once_; size() reads only the never-changing length.
+  // parqo-lint: allow(guarded-field) written in ctor only, joined via shutdown_once_
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  Mutex mu_{LockRank::kPool};
+  std::deque<std::function<void()>> queue_ PARQO_GUARDED_BY(mu_);
+  bool stop_ PARQO_GUARDED_BY(mu_) = false;
   std::condition_variable cv_;
-  bool stop_ = false;
   /// Serializes Shutdown: the first caller joins the workers, concurrent
   /// callers (including the destructor) block until it is done.
   std::once_flag shutdown_once_;

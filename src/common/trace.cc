@@ -62,22 +62,22 @@ void TraceRecorder::Record(std::string name, const char* category,
   e.ts_us = ts_us;
   e.dur_us = dur_us;
   e.tid = CurrentTid();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(e));
 }
 
 std::size_t TraceRecorder::NumEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
 }
 
 std::string TraceRecorder::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"traceEvents\": [";
   bool first = true;
   for (const Event& e : events_) {

@@ -15,10 +15,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace parqo {
 
@@ -60,8 +61,10 @@ class TraceRecorder {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
+  /// Leaf lock: guards the event buffer only; never held across a call
+  /// into any other subsystem.
+  mutable Mutex mu_{LockRank::kTrace};
+  std::vector<Event> events_ PARQO_GUARDED_BY(mu_);
 };
 
 /// RAII span: records [construction, destruction) on the global recorder

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -45,22 +44,25 @@ void ForEachNode(int n, bool parallel,
 // re-reads it). Null `fault` means the layer is disabled and none of the
 // vectors are even allocated.
 struct Recovery {
+  // parqo-lint: allow(guarded-field) installed once before workers start
   FaultPlan* fault = nullptr;
+  // parqo-lint: allow(guarded-field) read-only after per-run setup
   RetryPolicy policy;
-  std::mutex mu;  ///< Guards alive/host/alive_count + metric recovery fields.
-  std::vector<char> alive;
-  std::vector<int> host;
-  int alive_count = 0;
+  /// Guards alive/host/alive_count plus the ExecMetrics recovery fields
+  /// (recovery_attempts / operators_reexecuted / degraded_nodes), which
+  /// live outside this struct and so cannot carry the GUARDED_BY
+  /// themselves. Never held across BeginNodeOp, the retry backoff sleep,
+  /// or the work item itself.
+  Mutex mu{LockRank::kExecRecovery};
+  std::vector<char> alive PARQO_GUARDED_BY(mu);
+  std::vector<int> host PARQO_GUARDED_BY(mu);
+  int alive_count PARQO_GUARDED_BY(mu) = 0;
 };
 
-// Marks `node` crashed (idempotent under races) and re-homes every
-// partition it hosted onto the lowest-id survivor.
-void CrashNode(Recovery& rec, ExecMetrics& m, int node) {
-  std::lock_guard<std::mutex> lock(rec.mu);
-  if (!rec.alive[node]) return;
-  rec.alive[node] = 0;
-  --rec.alive_count;
-  m.degraded_nodes.push_back(node);
+// Re-homes every partition hosted by (already-marked-dead) `node` onto
+// the lowest-id survivor; -1 when nobody is left and callers will report
+// kUnavailable.
+void RehomeLocked(Recovery& rec, int node) PARQO_REQUIRES(rec.mu) {
   int next = -1;
   for (std::size_t i = 0; i < rec.alive.size(); ++i) {
     if (rec.alive[i]) {
@@ -68,10 +70,21 @@ void CrashNode(Recovery& rec, ExecMetrics& m, int node) {
       break;
     }
   }
-  if (next < 0) return;  // nobody left; callers will report kUnavailable
+  if (next < 0) return;
   for (int& h : rec.host) {
     if (h == node) h = next;
   }
+}
+
+// Marks `node` crashed (idempotent under races) and re-homes every
+// partition it hosted onto the lowest-id survivor.
+void CrashNode(Recovery& rec, ExecMetrics& m, int node) {
+  MutexLock lock(rec.mu);
+  if (!rec.alive[node]) return;
+  rec.alive[node] = 0;
+  --rec.alive_count;
+  m.degraded_nodes.push_back(node);
+  RehomeLocked(rec, node);
 }
 
 // Runs logical partition `part`'s work item for one operator with crash
@@ -87,7 +100,7 @@ Status RunOnePartition(Recovery& rec, ExecMetrics& m, const char* op,
   for (;;) {
     int host;
     {
-      std::lock_guard<std::mutex> lock(rec.mu);
+      MutexLock lock(rec.mu);
       if (rec.alive_count == 0) {
         return Status::Unavailable(
             std::string(op) + ": no surviving node can host partition " +
@@ -103,7 +116,7 @@ Status RunOnePartition(Recovery& rec, ExecMetrics& m, const char* op,
     }
     int attempt = retry.BeginAttempt();
     if (attempt > 0) {
-      std::lock_guard<std::mutex> lock(rec.mu);
+      MutexLock lock(rec.mu);
       ++m.recovery_attempts;
     }
     if (!rec.fault->BeginNodeOp(host)) {
@@ -113,7 +126,7 @@ Status RunOnePartition(Recovery& rec, ExecMetrics& m, const char* op,
     }
     work(part);
     if (attempt > 0) {
-      std::lock_guard<std::mutex> lock(rec.mu);
+      MutexLock lock(rec.mu);
       ++m.operators_reexecuted;
     }
     return Status::Ok();

@@ -50,7 +50,6 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -61,6 +60,7 @@
 #include "common/scratch_pool.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/tp_set.h"
 #include "optimizer/cmd_enumerator.h"
@@ -333,6 +333,10 @@ class TdCmdCore {
       fn(q, plan != nullptr ? MaterializePlan(*plan) : nullptr);
     });
     for (const MemoShard& shard : shards_) {
+      // Post-run cold path; the lock is uncontended but keeps this read
+      // honest under the thread-safety analysis (and safe if a caller
+      // ever races it with a run despite the documented contract).
+      MutexLock lock(shard.mu);
       shard.map.ForEach([&](TpSet q, const PlanCandidate* plan) {
         fn(q, plan != nullptr ? MaterializePlan(*plan) : nullptr);
       });
@@ -359,8 +363,12 @@ class TdCmdCore {
   static constexpr std::size_t kMemoShards = 64;  // power of two
 
   struct MemoShard {
-    std::mutex mu;
-    FlatTpSetMap<const PlanCandidate*> map;
+    /// Held only around the flat-map probe/publish; BestPlanGen's
+    /// recursion (which re-enters sibling shards at this same rank) runs
+    /// strictly outside it. Mutable so the post-run const inspection
+    /// path (ForEachMemoEntry) can lock too.
+    mutable Mutex mu{LockRank::kMemoShard};
+    FlatTpSetMap<const PlanCandidate*> map PARQO_GUARDED_BY(mu);
   };
 
   bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
@@ -446,7 +454,7 @@ class TdCmdCore {
     if constexpr (kParallel) {
       MemoShard& shard = shards_[TpSetHash{}(q) & (kMemoShards - 1)];
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         if (const PlanCandidate* const* hit = shard.map.Find(q)) {
           ++ctx.memo_hits;
           return *hit;
@@ -456,7 +464,7 @@ class TdCmdCore {
       if (!is_local) is_local = is_local_(q);
       const PlanCandidate* plan = BestPlanGen<true>(q, is_local, ctx);
       if (!Aborted()) {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         if (shard.map.EmplaceFirstWins(q, plan).second) {
           memo_size_.fetch_add(1, std::memory_order_relaxed);
         }

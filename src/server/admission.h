@@ -4,6 +4,11 @@
 // would grow latency without bound, and optimizing it would steal cycles
 // from admitted queries. Rejected requests get StatusCode::kOverloaded
 // (nothing was attempted; back off and re-submit), never a silent queue.
+//
+// Lock-free by design: admission sits on every request's front door, so
+// the controller is pure atomics and deliberately owns no Mutex — it has
+// no rank in the lock hierarchy (common/thread_annotations.h) and can be
+// consulted while any lock is held.
 
 #ifndef PARQO_SERVER_ADMISSION_H_
 #define PARQO_SERVER_ADMISSION_H_

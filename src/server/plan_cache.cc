@@ -29,7 +29,7 @@ std::optional<CachedPlan> PlanCache::Lookup(const std::string& key) {
   Shard& shard = ShardFor(key);
   std::optional<CachedPlan> out;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -56,7 +56,7 @@ void PlanCache::Insert(const std::string& key, CachedPlan plan) {
   Shard& shard = ShardFor(key);
   std::uint64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->second = std::move(plan);
@@ -64,11 +64,7 @@ void PlanCache::Insert(const std::string& key, CachedPlan plan) {
     } else {
       shard.lru.emplace_front(key, std::move(plan));
       shard.index.emplace(key, shard.lru.begin());
-      while (shard.lru.size() > shard_capacity_) {
-        shard.index.erase(shard.lru.back().first);
-        shard.lru.pop_back();
-        ++evicted;
-      }
+      evicted = EvictExcessLocked(shard);
     }
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -79,10 +75,20 @@ void PlanCache::Insert(const std::string& key, CachedPlan plan) {
   }
 }
 
+std::uint64_t PlanCache::EvictExcessLocked(Shard& shard) {
+  std::uint64_t evicted = 0;
+  while (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++evicted;
+  }
+  return evicted;
+}
+
 std::size_t PlanCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;

@@ -19,13 +19,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan.h"
 
@@ -85,15 +85,23 @@ class PlanCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    /// Leaf in practice: held only for the map/list surgery, never across
+    /// metric updates or the optimizer. size() locks the shards one at a
+    /// time (sequentially, never nested), which a same-rank hierarchy
+    /// permits because at most one shard lock is ever held.
+    Mutex mu{LockRank::kCacheShard};
     /// Front = most recently used. The map indexes into the list.
-    std::list<std::pair<std::string, CachedPlan>> lru;
+    std::list<std::pair<std::string, CachedPlan>> lru PARQO_GUARDED_BY(mu);
     std::unordered_map<std::string,
                        std::list<std::pair<std::string, CachedPlan>>::iterator>
-        index;
+        index PARQO_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);
+
+  /// Pops cold entries until the shard is back under shard_capacity_;
+  /// returns how many were dropped.
+  std::uint64_t EvictExcessLocked(Shard& shard) PARQO_REQUIRES(shard.mu);
 
   std::size_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;

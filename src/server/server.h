@@ -27,7 +27,11 @@
 // Thread safety: Serve() is safe to call from any number of threads.
 // Shared state is the sharded cache, the atomic admission counters, and
 // the metrics registry; everything per-request lives on the session's
-// stack.
+// stack. The server itself owns no mutex — every lock a request can
+// touch (cache shards at LockRank::kCacheShard, pool/metrics leaves
+// below them) sits in the static hierarchy of
+// common/thread_annotations.h, and a serving thread holds at most one
+// at a time.
 
 #ifndef PARQO_SERVER_SERVER_H_
 #define PARQO_SERVER_SERVER_H_

@@ -17,7 +17,7 @@ const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
   PARQO_CHECK(!sq.Empty());
   Shard& shard = shards_[TpSetHash{}(sq) & (kShards - 1)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (const Derived* const* hit = shard.map.Find(sq)) {
       if (MetricsEnabled()) {
         memo_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -72,7 +72,7 @@ const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
   // A racing thread may have inserted sq meanwhile; first insert wins,
   // and both derivations are identical anyway. The deque owns the entry
   // (stable address), the flat map only indexes it.
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (const Derived* const* hit = shard.map.Find(sq)) return **hit;
   shard.storage.push_back(std::move(d));
   const Derived* entry = &shard.storage.back();

@@ -23,10 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/flat_map.h"
+#include "common/thread_annotations.h"
 
 #include "common/tp_set.h"
 #include "query/join_graph.h"
@@ -70,9 +70,14 @@ class CardinalityEstimator {
   static constexpr std::size_t kShards = 16;  // power of two
 
   struct Shard {
-    std::mutex mu;
-    FlatTpSetMap<const Derived*> map;
-    std::deque<Derived> storage;  // element addresses are stable
+    /// Never held across the Derive recursion (which re-enters other
+    /// shards at the same rank): lookups and inserts lock, the
+    /// derivation itself runs unlocked.
+    Mutex mu{LockRank::kEstimatorShard};
+    FlatTpSetMap<const Derived*> map PARQO_GUARDED_BY(mu);
+    // Element addresses are stable (deque growth never moves entries), so
+    // a pointer published through `map` outlives the lock that minted it.
+    std::deque<Derived> storage PARQO_GUARDED_BY(mu);
   };
 
   const Derived& Derive(TpSet sq) const;

@@ -1,0 +1,31 @@
+// Negative fixture: guarded state touched without its lock, and a
+// mutable member of a mutex-owning type with no GUARDED_BY and no written
+// reason. tools/check_tsa_fixtures.py asserts clang REJECTS this file
+// (-Wthread-safety -Werror: the unlocked `hits` accesses) and
+// tools/parqo_lint_test.py asserts the linter reports guarded-field (the
+// bare `rows` member). If either starts accepting it, the enforcement is
+// broken — do not "fix" this file to make tools pass.
+
+#include "common/thread_annotations.h"
+
+namespace parqo {
+namespace {
+
+struct TableStats {
+  Mutex mu{LockRank::kLeaf};
+  long hits PARQO_GUARDED_BY(mu) = 0;
+  long rows = 0;  // guarded-field: no annotation, no written reason
+};
+
+long TouchWithoutLock(TableStats& stats) {
+  stats.hits += 1;   // clang: writing 'hits' requires holding 'mu'
+  return stats.hits;  // clang: reading 'hits' requires holding 'mu'
+}
+
+}  // namespace
+}  // namespace parqo
+
+int main() {
+  parqo::TableStats stats;
+  return static_cast<int>(parqo::TouchWithoutLock(stats));
+}

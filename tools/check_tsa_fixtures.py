@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compile-checks the thread-safety fixtures with clang.
+
+Every tests/tsa_fixtures/ok_*.cc must compile CLEANLY and every
+tests/tsa_fixtures/bad_*.cc must FAIL under
+
+    <clang> -fsyntax-only -std=c++20 -Isrc \
+            -Wthread-safety -Wthread-safety-beta -Werror
+
+(-Wthread-safety-beta is what checks the ACQUIRED_BEFORE/ACQUIRED_AFTER
+ordering relations). A bad fixture that starts compiling means the
+annotations no-op'd — a broken -I path, a macro regression in
+common/thread_annotations.h, or a clang without the capability attribute
+— which is exactly the silent failure mode this script exists to catch:
+the analysis passing over src/ proves nothing if it cannot reject known
+violations.
+
+Usage: tools/check_tsa_fixtures.py [--clang CLANG] [fixture_dir]
+       (run from the repository root; default clang++, default
+        tests/tsa_fixtures)
+Exit status 0 iff every fixture verdict matches its name.
+"""
+
+import argparse
+import glob
+import os
+import shutil
+import subprocess
+import sys
+
+FLAGS = ["-fsyntax-only", "-std=c++20", "-Isrc",
+         "-Wthread-safety", "-Wthread-safety-beta", "-Werror"]
+
+
+def compile_fixture(clang, path):
+    proc = subprocess.run([clang] + FLAGS + [path],
+                          capture_output=True, text=True)
+    return proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--clang", default="clang++")
+    parser.add_argument("fixture_dir", nargs="?",
+                        default=os.path.join("tests", "tsa_fixtures"))
+    args = parser.parse_args(argv[1:])
+
+    if shutil.which(args.clang) is None:
+        print("check_tsa_fixtures: '%s' not found" % args.clang)
+        return 1
+
+    fixtures = sorted(glob.glob(os.path.join(args.fixture_dir, "*.cc")))
+    if not fixtures:
+        print("check_tsa_fixtures: no fixtures under %s" % args.fixture_dir)
+        return 1
+
+    failures = 0
+    for path in fixtures:
+        name = os.path.basename(path)
+        expect_ok = name.startswith("ok_")
+        ok, output = compile_fixture(args.clang, path)
+        if ok == expect_ok:
+            print("check_tsa_fixtures: %-28s %s (as expected)"
+                  % (name, "accepted" if ok else "rejected"))
+            continue
+        failures += 1
+        if expect_ok:
+            print("check_tsa_fixtures: %s should compile cleanly but was "
+                  "rejected:\n%s" % (name, output))
+        else:
+            print("check_tsa_fixtures: %s compiled CLEANLY but must be "
+                  "rejected — the thread-safety analysis is not seeing "
+                  "the annotations (check -Isrc and the PARQO_* macros in "
+                  "src/common/thread_annotations.h)" % name)
+    if failures:
+        print("check_tsa_fixtures: %d unexpected verdict(s)" % failures)
+        return 1
+    print("check_tsa_fixtures: %d fixture(s) behaved" % len(fixtures))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

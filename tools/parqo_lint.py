@@ -70,6 +70,45 @@ Four rule families, each guarding an invariant the compiler cannot see:
                         the chaos harness cannot detect. Waits must carry a
                         predicate (cv.wait(lock, pred)) or a timeout.
 
+  Lock-discipline rules (src/ and tsa_fixtures only; the annotation header
+  src/common/thread_annotations.h that implements the discipline is exempt):
+
+  raw-std-mutex         std::mutex / std::shared_mutex / std::lock_guard /
+                        std::unique_lock / std::scoped_lock / std::shared_lock
+                        outside the annotation header. All locking goes
+                        through parqo::Mutex + MutexLock so Clang Thread
+                        Safety Analysis sees every acquisition and the
+                        runtime rank checker audits ordering.
+
+  mutex-rank            A parqo::Mutex/SharedMutex declared without a
+                        LockRank::k* position in the static hierarchy, or
+                        with a rank name the registry (the LockRank enum in
+                        thread_annotations.h) does not define. Unranked
+                        locks are invisible to deadlock-ordering review.
+
+  guarded-field         A mutable data member of a mutex-owning class that
+                        carries neither PARQO_GUARDED_BY nor a written
+                        reason why it needs no lock (immutable after
+                        construction, per-element atomics, ...). Exempt
+                        member types: std::atomic, std::condition_variable,
+                        std::once_flag, Mutex/SharedMutex, const/constexpr.
+
+  lock-rank-order       A lexically nested MutexLock acquisition whose rank
+                        is not strictly greater than the lock already held.
+                        Same-rank nesting is also a finding (self-deadlock
+                        under a different interleaving). This is the static
+                        mirror of the runtime checker in
+                        thread_annotations.h.
+
+  naked-lock            A bare .lock()/.unlock()/.Lock()/.Unlock() call:
+                        critical sections are RAII-only (MutexLock /
+                        SharedMutexLock), so no early return or exception
+                        can leak a held lock past its scope.
+
+  tsa-escape            PARQO_NO_THREAD_SAFETY_ANALYSIS without an
+                        allow(tsa-escape) justification. Every analysis
+                        escape must say why the analysis is wrong there.
+
 Suppression: append "// parqo-lint: allow(<rule>) <reason>" to the offending
 line, or put it on the line directly above. The reason is mandatory —
 an allow() without one is itself a finding.
@@ -163,6 +202,98 @@ SLEEP_EXEMPT_FILES = {"src/common/fault.h", "src/common/fault.cc"}
 # banned outright here, declaration included, with no allow() escape.
 SIGNATURE_FILES = {"src/server/signature.h", "src/server/signature.cc"}
 UNORDERED_ANY_RE = re.compile(r"std::unordered_\w+")
+
+# --- Lock discipline (see the rule descriptions at the top) -----------------
+
+# The header that implements the discipline: it wraps std::mutex, defines
+# the LockRank registry, and is the one sanctioned home of raw locking.
+THREAD_ANNOTATIONS_FILE = "src/common/thread_annotations.h"
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+# A by-value Mutex/SharedMutex declaration ("Mutex mu{LockRank::kPool};").
+# References and pointers ("Mutex& mu") do not match: they alias a lock
+# ranked at its declaration site. Ordering attributes may sit between the
+# declarator and the initializer ("Mutex b PARQO_ACQUIRED_AFTER(a) = ...").
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:Shared)?Mutex\s+\w+\s*"
+    r"(?:PARQO_\w+\s*\([^)]*\)\s*)*[;={(]"
+)
+MUTEX_RANK_REF_RE = re.compile(
+    r"\b(?:Shared)?Mutex\s+(\w+)\s*(?:PARQO_\w+\s*\([^)]*\)\s*)*"
+    r"(?:[{(]|=\s*(?:Shared)?Mutex\s*[({])\s*LockRank::(k\w+)\s*[)}]"
+)
+ACQUIRE_RE = re.compile(r"\b(?:Shared)?MutexLock\s+\w+\s*[({]([^;{}]*)[)}]")
+NAKED_LOCK_RE = re.compile(
+    r"[.>]\s*(?:try_lock|lock|unlock|lock_shared|unlock_shared|"
+    r"TryLock|Lock|Unlock|LockShared|UnlockShared)\s*\(\s*\)"
+)
+TSA_ESCAPE_RE = re.compile(r"\bPARQO_NO_THREAD_SAFETY_ANALYSIS\b")
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:PARQO_\w+\s*\([^)]*\)\s*)?\w+[^;=]*$"
+)
+# Member types that need no GUARDED_BY: lock-free by construction, the
+# lock itself, or CV/once_flag (which synchronize through their own API).
+GUARDED_EXEMPT_RE = re.compile(
+    r"^(?:mutable\s+)?(?:std::atomic\b|std::condition_variable\b|"
+    r"std::once_flag\b|(?:Shared)?Mutex\b|const\b|constexpr\b|static\b)"
+)
+ACCESS_SPEC_RE = re.compile(r"^\s*(?:public|private|protected)\s*:\s*")
+
+
+def _load_lock_ranks():
+    """LockRank name -> value, parsed from the registry enum. Empty when
+    the header is missing (pre-hierarchy checkouts lint without ranks)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    path = os.path.join(os.path.dirname(here), "src", "common",
+                        "thread_annotations.h")
+    ranks = {}
+    if not os.path.isfile(path):
+        return ranks
+    in_enum = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if "enum class LockRank" in line:
+                in_enum = True
+                continue
+            if in_enum:
+                if "}" in line:
+                    break
+                m = re.match(r"\s*(k\w+)\s*=\s*(\d+)", line)
+                if m:
+                    ranks[m.group(1)] = int(m.group(2))
+    return ranks
+
+
+LOCK_RANKS = _load_lock_ranks()
+
+
+def _lock_rules_apply(rel):
+    """Lock-discipline rules run on src/ (and the deliberately-broken
+    fixture snippets) but not on tests/bench/tools, and never on the
+    annotation header that implements the machinery being enforced."""
+    if rel == THREAD_ANNOTATIONS_FILE or rel.endswith("thread_annotations.h"):
+        return False
+    return rel.startswith("src/") or "tsa_fixtures" in rel
+
+
+def _strip_template_args(s):
+    """Blanks matched <...> spans so parens inside template arguments
+    ("std::function<void()>") do not read as a function declaration."""
+    out = []
+    depth = 0
+    for c in s:
+        if c == "<":
+            depth += 1
+            out.append(" ")
+        elif c == ">" and depth > 0:
+            depth -= 1
+            out.append(" ")
+        else:
+            out.append(c if depth == 0 else " ")
+    return "".join(out)
 
 
 def range_for_sequence(code):
@@ -308,6 +439,9 @@ class Linter:
         self.check_exec_row(rel, code_lines, allowed)
         self.check_metric_writes(rel, code_lines, allowed)
         self.check_naked_sleep(rel, code_lines, allowed)
+        self.check_lock_discipline(rel, code_lines, allowed)
+        self.check_guarded_fields(rel, code_lines, allowed)
+        self.check_lock_rank_order(rel, path, code_lines, allowed)
 
     def check_unordered_iteration(self, rel, code_lines, allowed):
         rule = "unordered-iteration"
@@ -459,6 +593,251 @@ class Linter:
                 continue
             self.report(rel, lineno, rule, msg)
 
+    def check_lock_discipline(self, rel, code_lines, allowed):
+        """Per-line lock rules: raw-std-mutex, mutex-rank, naked-lock,
+        tsa-escape."""
+        if not _lock_rules_apply(rel):
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            m = RAW_MUTEX_RE.search(code)
+            if m and not allowed(lineno, "raw-std-mutex"):
+                self.report(
+                    rel, lineno, "raw-std-mutex",
+                    "%s bypasses the annotated wrappers: use parqo::Mutex "
+                    "+ MutexLock (common/thread_annotations.h) so the "
+                    "thread-safety analysis and the rank checker see the "
+                    "acquisition" % m.group(0),
+                )
+            if MUTEX_DECL_RE.search(code):
+                rank_m = MUTEX_RANK_REF_RE.search(code)
+                if rank_m is None:
+                    if not allowed(lineno, "mutex-rank"):
+                        self.report(
+                            rel, lineno, "mutex-rank",
+                            "Mutex declared without a LockRank: every lock "
+                            "takes a position in the static hierarchy "
+                            "(LockRank registry in "
+                            "common/thread_annotations.h)",
+                        )
+                elif LOCK_RANKS and rank_m.group(2) not in LOCK_RANKS:
+                    if not allowed(lineno, "mutex-rank"):
+                        self.report(
+                            rel, lineno, "mutex-rank",
+                            "LockRank::%s is not in the registry; add it "
+                            "to the LockRank enum (with its ordering "
+                            "rationale) before using it" % rank_m.group(2),
+                        )
+            if NAKED_LOCK_RE.search(code) and not allowed(lineno,
+                                                          "naked-lock"):
+                self.report(
+                    rel, lineno, "naked-lock",
+                    "naked lock()/unlock(): critical sections are "
+                    "RAII-only (MutexLock/SharedMutexLock) so early "
+                    "returns and exceptions cannot leak a held lock",
+                )
+            if TSA_ESCAPE_RE.search(code) and not allowed(lineno,
+                                                          "tsa-escape"):
+                self.report(
+                    rel, lineno, "tsa-escape",
+                    "PARQO_NO_THREAD_SAFETY_ANALYSIS needs an "
+                    "allow(tsa-escape) comment explaining why the "
+                    "analysis is wrong here",
+                )
+
+    def check_guarded_fields(self, rel, code_lines, allowed):
+        """Every mutable member of a mutex-owning class carries
+        PARQO_GUARDED_BY or a written allow(guarded-field) reason.
+
+        A lexical scope walk: class/struct bodies are tracked through a
+        stack, member statements are accumulated across lines, and
+        function bodies / nested enums are skipped wholesale. Only classes
+        that directly declare a Mutex/SharedMutex member are audited —
+        a class whose locking lives in a nested shard struct is audited
+        at the shard."""
+        rule = "guarded-field"
+        if not _lock_rules_apply(rel):
+            return
+        depth = 0
+        scopes = []  # innermost last: {"body": depth, "mutex": bool,
+        #              "fields": [(lineno, stmt)]}
+        stmt = ""
+        stmt_line = None
+        skip_until = None  # skip chars until depth drops below this
+
+        def finish_stmt():
+            nonlocal stmt, stmt_line
+            text = ACCESS_SPEC_RE.sub("", stmt.strip())
+            while ACCESS_SPEC_RE.match(text):
+                text = ACCESS_SPEC_RE.sub("", text)
+            if text and scopes:
+                scope = scopes[-1]
+                if re.match(r"(?:mutable\s+)?(?:Shared)?Mutex\b", text):
+                    scope["mutex"] = True
+                else:
+                    scope["fields"].append((stmt_line, text))
+            stmt = ""
+            stmt_line = None
+
+        def close_scope():
+            scope = scopes.pop()
+            if not scope["mutex"]:
+                return
+            for lineno, text in scope["fields"]:
+                if self._field_is_exempt(text):
+                    continue
+                if allowed(lineno, rule):
+                    continue
+                self.report(
+                    rel, lineno, rule,
+                    "mutable member of a mutex-owning type without "
+                    "PARQO_GUARDED_BY: annotate it, or state why it needs "
+                    "no lock with allow(%s) <reason>" % rule,
+                )
+
+        for lineno, code in enumerate(code_lines, start=1):
+            if code.lstrip().startswith("#"):
+                continue  # preprocessor lines never join a member stmt
+            for ch in code:
+                if skip_until is not None:
+                    if ch == "{":
+                        depth += 1
+                    elif ch == "}":
+                        depth -= 1
+                        if depth < skip_until:
+                            skip_until = None
+                    continue
+                if ch == "{":
+                    depth += 1
+                    head = _strip_template_args(stmt)
+                    if re.search(r"\benum\b", head):
+                        skip_until = depth
+                        stmt, stmt_line = "", None
+                    elif CLASS_HEAD_RE.search(head.strip()):
+                        scopes.append({"body": depth, "mutex": False,
+                                       "fields": []})
+                        stmt, stmt_line = "", None
+                    elif re.search(r"\bnamespace\b", head):
+                        # Transparent: namespaces do not nest members.
+                        stmt, stmt_line = "", None
+                    elif scopes and "(" in head:
+                        # Inline member function body (or ctor with init
+                        # list): opaque to the field audit.
+                        skip_until = depth
+                        stmt, stmt_line = "", None
+                    elif scopes:
+                        # Brace-init inside a member declaration
+                        # ("std::atomic<int> done{0};"): part of the stmt.
+                        stmt += ch
+                        if stmt_line is None:
+                            stmt_line = lineno
+                    else:
+                        skip_until = depth  # free function body etc.
+                        stmt, stmt_line = "", None
+                elif ch == "}":
+                    depth -= 1
+                    if scopes and depth < scopes[-1]["body"]:
+                        finish_stmt()
+                        close_scope()
+                    elif scopes and depth >= scopes[-1]["body"]:
+                        stmt += ch  # closing a brace-init
+                elif ch == ";":
+                    if scopes and depth == scopes[-1]["body"]:
+                        finish_stmt()
+                    else:
+                        stmt, stmt_line = "", None
+                else:
+                    if not ch.isspace() and stmt_line is None:
+                        stmt_line = lineno
+                    stmt += ch
+            stmt += " "  # newline separates tokens
+        while scopes:  # unbalanced file: close what is open, still audit
+            finish_stmt()
+            close_scope()
+
+    @staticmethod
+    def _field_is_exempt(text):
+        """True for member statements that need no GUARDED_BY."""
+        if not text or "PARQO_GUARDED_BY" in text or \
+                "PARQO_PT_GUARDED_BY" in text:
+            return True
+        if re.match(r"(?:using|typedef|friend|enum|template)\b", text):
+            return True
+        if "= delete" in text or "= default" in text:
+            return True
+        if GUARDED_EXEMPT_RE.match(text):
+            return True
+        stripped = _strip_template_args(text)
+        eq = stripped.find("=")
+        paren = stripped.find("(")
+        if paren >= 0 and (eq < 0 or paren < eq):
+            return True  # function declaration
+        return False
+
+    def check_lock_rank_order(self, rel, path, code_lines, allowed):
+        """Lexically nested MutexLock acquisitions must climb the rank
+        hierarchy strictly. Ranks resolve through the Mutex declarations
+        in this file plus its sibling header (where a .cc's members are
+        declared); an acquisition whose rank cannot be resolved is
+        skipped — mutex-rank already forces every declaration to carry
+        one."""
+        rule = "lock-rank-order"
+        if not _lock_rules_apply(rel) or not LOCK_RANKS:
+            return
+        decls = self._mutex_rank_decls(code_lines)
+        if path.endswith(".cc"):
+            sibling = path[:-3] + ".h"
+            if os.path.isfile(sibling):
+                decls.update(self._mutex_rank_decls(
+                    self._stripped_lines(sibling)))
+        depth = 0
+        held = []  # (depth_at_acquisition, rank, name, lineno)
+        for lineno, code in enumerate(code_lines, start=1):
+            pos = 0
+            for m in ACQUIRE_RE.finditer(code):
+                depth += code.count("{", pos, m.start()) - \
+                    code.count("}", pos, m.start())
+                pos = m.start()
+                while held and depth < held[-1][0]:
+                    held.pop()
+                name = final_identifier(m.group(1))
+                rank = decls.get(name)
+                if rank is None:
+                    continue
+                if held and rank <= held[-1][1] and \
+                        not allowed(lineno, rule):
+                    self.report(
+                        rel, lineno, rule,
+                        "acquiring '%s' (rank %d) while holding '%s' "
+                        "(rank %d): nested acquisitions must take "
+                        "strictly increasing LockRank values" %
+                        (name, rank, held[-1][2], held[-1][1]),
+                    )
+                held.append((depth, rank, name, lineno))
+            depth += code.count("{", pos) - code.count("}", pos)
+            while held and depth < held[-1][0]:
+                held.pop()
+
+    @staticmethod
+    def _mutex_rank_decls(code_lines):
+        """Mutex member/variable name -> rank value for this file."""
+        decls = {}
+        for code in code_lines:
+            for m in MUTEX_RANK_REF_RE.finditer(code):
+                rank = LOCK_RANKS.get(m.group(2))
+                if rank is not None:
+                    decls[m.group(1)] = rank
+        return decls
+
+    @staticmethod
+    def _stripped_lines(path):
+        code_lines = []
+        in_block = False
+        with open(path, encoding="utf-8") as f:
+            for raw in f.read().splitlines():
+                code, in_block, _ = strip_strings_and_comments(raw, in_block)
+                code_lines.append(code)
+        return code_lines
+
     @staticmethod
     def _wait_is_unbounded(code, open_paren):
         """True when the wait(...) starting at `open_paren` has exactly one
@@ -487,7 +866,11 @@ def main(argv):
         if os.path.isfile(root):
             files.append(root)
             continue
-        for dirpath, _, filenames in os.walk(root):
+        for dirpath, dirnames, filenames in os.walk(root):
+            # Deliberately-broken thread-safety snippets: linted by
+            # tools/parqo_lint_test.py (which asserts they FAIL), compiled
+            # by tools/check_tsa_fixtures.py — never part of a clean run.
+            dirnames[:] = [d for d in dirnames if d != "tsa_fixtures"]
             for name in sorted(filenames):
                 if name.endswith(CXX_EXTENSIONS):
                     files.append(os.path.join(dirpath, name))
