@@ -26,6 +26,16 @@
 // --json=PATH writes BENCH_serve.json (schema validated by CI's
 // bench-smoke job): per-distribution cache hit rate, p50/p99 end-to-end
 // latency serial vs concurrent, and the identity/fault verdicts.
+//
+// --faults additionally runs the self-healing resilience sweep
+// (DESIGN.md section 16) on a fixed query: a sick-node stream (the
+// breaker must trip within its configured threshold, after which
+// sessions route around the node with zero mid-query crash detections),
+// a straggler stream served hedged vs un-hedged (hedged p99 must not
+// exceed un-hedged p99; rows bit-identical to clean), and a retry storm
+// under a fixed cluster-wide RetryBudget (total retries across all
+// sessions <= capacity). Results land in the JSON's "resilience"
+// section, with per-session recovery/hedge/quarantine counters printed.
 
 #include <algorithm>
 #include <cctype>
@@ -170,6 +180,228 @@ RowsFp FingerprintRows(const BindingTable& t, int num_vars) {
     fp.xr ^= h;
   }
   return fp;
+}
+
+/// The --faults self-healing sweep: one verdict per scenario, plus the
+/// numbers the acceptance bars are stated in.
+struct ResilienceReport {
+  // Sick-node stream.
+  int sick_sessions = 0;
+  int breaker_trip_session = 0;  ///< 1-based session that tripped it.
+  int failure_threshold = 0;
+  std::uint64_t post_trip_crash_detections = 0;
+  int post_trip_quarantined_sessions = 0;
+  bool sick_rows_match = true;
+  // Straggler stream, hedged vs un-hedged.
+  double unhedged_p99_ms = 0;
+  double hedged_p99_ms = 0;
+  std::uint64_t hedge_launches = 0;
+  std::uint64_t hedge_wins = 0;
+  bool hedge_rows_match = true;
+  // Retry storm under a shared budget.
+  int storm_sessions = 0;
+  std::uint64_t budget_capacity = 0;
+  std::uint64_t retries_acquired = 0;
+  std::uint64_t budget_denied = 0;
+  int storm_typed_errors = 0;
+  bool storm_rows_match = true;
+
+  bool ok() const {
+    return breaker_trip_session > 0 &&
+           breaker_trip_session <= failure_threshold &&
+           post_trip_crash_detections == 0 && sick_rows_match &&
+           hedged_p99_ms <= unhedged_p99_ms && hedge_rows_match &&
+           retries_acquired <= budget_capacity && storm_rows_match;
+  }
+};
+
+/// Runs the three seeded resilience scenarios against a fixed query (the
+/// first mid-size template) so every session's rows are comparable to
+/// one clean fingerprint.
+ResilienceReport RunResilience(const RdfGraph& graph, const Cluster& cluster,
+                               const Partitioner& partitioner,
+                               const OptimizeOptions& options,
+                               const std::vector<WatdivTemplate>& templates,
+                               const Flags& flags) {
+  ResilienceReport rep;
+  std::vector<TriplePattern> query = templates[0].patterns;
+  for (const WatdivTemplate& t : templates) {
+    if (t.patterns.size() >= 3 && t.patterns.size() <= 5) {
+      query = t.patterns;
+      break;
+    }
+  }
+
+  auto fingerprint = [](const ServeResult& r) {
+    return FingerprintRows(r.rows, static_cast<int>(r.var_names.size()));
+  };
+
+  // --- Scenario 1: sick node. Sessions stream at a persistently failing
+  // node; the breaker must trip within failure_threshold sessions, after
+  // which every session quarantines the node pre-emptively.
+  {
+    ServerConfig config;
+    config.algorithm = Algorithm::kTdAuto;
+    config.options = options;
+    config.health.failure_threshold = 3;
+    config.health.cooldown_seconds = 1e6;  // stays open for the sweep
+    QueryServer server(graph, cluster, partitioner, config);
+    rep.failure_threshold = config.health.failure_threshold;
+
+    ServeResult clean = server.Serve(query);
+    if (!clean.status.ok()) {
+      std::fprintf(stderr, "resilience: clean serve failed: %s\n",
+                   clean.status.ToString().c_str());
+      rep.sick_rows_match = false;
+      return rep;
+    }
+    RowsFp clean_fp = fingerprint(clean);
+
+    const int sick_node = 1;
+    FaultPlan fault(flags.nodes);
+    fault.SickNode(sick_node);
+    FaultScope scope(&fault);
+    rep.sick_sessions = rep.failure_threshold + 6;
+    std::printf("resilience: sick node %d, %d sessions\n", sick_node,
+                rep.sick_sessions);
+    for (int s = 1; s <= rep.sick_sessions; ++s) {
+      ServeResult r = server.Serve(query);
+      bool tripped = server.health()->state(sick_node) == BreakerState::kOpen;
+      if (rep.breaker_trip_session == 0 && tripped) {
+        rep.breaker_trip_session = s;
+      }
+      std::uint64_t crashes = 0;
+      for (std::uint64_t f : r.exec_metrics.node_failures) crashes += f;
+      bool quarantined = !r.exec_metrics.quarantined_nodes.empty();
+      if (rep.breaker_trip_session > 0 && s > rep.breaker_trip_session) {
+        rep.post_trip_crash_detections += crashes;
+        if (quarantined) ++rep.post_trip_quarantined_sessions;
+      }
+      if (r.status.ok()) {
+        if (fingerprint(r) != clean_fp) rep.sick_rows_match = false;
+      } else {
+        rep.sick_rows_match = false;  // a sick node must be recoverable
+      }
+      std::printf(
+          "  session %2d: recoveries=%llu crashes_detected=%llu "
+          "quarantined=%s breaker=%s\n",
+          s,
+          static_cast<unsigned long long>(r.exec_metrics.recovery_attempts),
+          static_cast<unsigned long long>(crashes), quarantined ? "yes" : "no",
+          tripped ? "open" : "closed");
+    }
+  }
+
+  // --- Scenario 2: straggler, hedged vs un-hedged. The same slow-node
+  // fault plan served by a health-less server (pays the delay) and by a
+  // warmed health-enabled server (hedges around it).
+  {
+    const int slow_node = flags.nodes - 1;
+    const double delay = 0.005;
+    const int kSessions = 12;
+
+    auto p99 = [](std::vector<double> lat) {
+      std::sort(lat.begin(), lat.end());
+      return lat[static_cast<std::size_t>(0.99 * (lat.size() - 1))] * 1e3;
+    };
+
+    ServerConfig unhedged_config;
+    unhedged_config.algorithm = Algorithm::kTdAuto;
+    unhedged_config.options = options;
+    unhedged_config.enable_health = false;
+    QueryServer unhedged(graph, cluster, partitioner, unhedged_config);
+
+    ServerConfig hedged_config = unhedged_config;
+    hedged_config.enable_health = true;
+    QueryServer hedged(graph, cluster, partitioner, hedged_config);
+
+    ServeResult clean = hedged.Serve(query);  // warms cache AND EWMAs
+    RowsFp clean_fp = fingerprint(clean);
+    ServeResult warm = hedged.Serve(query);  // cache-hit timing sample
+    (void)warm;
+    ServeResult unhedged_clean = unhedged.Serve(query);
+    (void)unhedged_clean;
+
+    FaultPlan fault(flags.nodes);
+    fault.SlowNode(slow_node, delay);
+    FaultScope scope(&fault);
+    std::vector<double> unhedged_lat, hedged_lat;
+    for (int s = 0; s < kSessions; ++s) {
+      ServeResult r = unhedged.Serve(query);
+      if (!r.status.ok() || fingerprint(r) != clean_fp) {
+        rep.hedge_rows_match = false;
+      }
+      unhedged_lat.push_back(r.total_seconds);
+    }
+    for (int s = 0; s < kSessions; ++s) {
+      ServeResult r = hedged.Serve(query);
+      if (!r.status.ok() || fingerprint(r) != clean_fp) {
+        rep.hedge_rows_match = false;
+      }
+      rep.hedge_launches += r.exec_metrics.hedged_ops;
+      rep.hedge_wins += r.exec_metrics.hedge_wins;
+      hedged_lat.push_back(r.total_seconds);
+    }
+    rep.unhedged_p99_ms = p99(unhedged_lat);
+    rep.hedged_p99_ms = p99(hedged_lat);
+    std::printf(
+        "resilience: straggler node %d (+%.1f ms/op): p99 %.3f ms "
+        "un-hedged vs %.3f ms hedged (%llu hedges, %llu wins)\n",
+        slow_node, delay * 1e3, rep.unhedged_p99_ms, rep.hedged_p99_ms,
+        static_cast<unsigned long long>(rep.hedge_launches),
+        static_cast<unsigned long long>(rep.hedge_wins));
+  }
+
+  // --- Scenario 3: retry storm against a fixed cluster-wide budget.
+  // Concurrent sessions retry through a very lossy network; the TOTAL
+  // number of retries across all of them is capped by the bucket.
+  {
+    ServerConfig config;
+    config.algorithm = Algorithm::kTdAuto;
+    config.options = options;
+    config.enable_health = false;  // isolate the budget
+    config.retry_budget = 16;
+    config.num_threads = 4;
+    QueryServer server(graph, cluster, partitioner, config);
+    rep.budget_capacity = config.retry_budget;
+
+    ServeResult clean = server.Serve(query);
+    RowsFp clean_fp = fingerprint(clean);
+
+    FaultPlan fault(flags.nodes);
+    fault.DropShipments(0.5, ChaosSeed(flags.seed));
+    rep.storm_sessions = 24;
+    std::vector<std::vector<TriplePattern>> stream(
+        static_cast<std::size_t>(rep.storm_sessions), query);
+    std::vector<char> verdict(stream.size(), 0);  // 1 ok, 2 typed, 3 bad
+    {
+      FaultScope scope(&fault);
+      server.ServeConcurrent(stream, 4, [&](std::size_t e, ServeResult r) {
+        if (r.status.ok()) {
+          verdict[e] = fingerprint(r) != clean_fp ? 3 : 1;
+        } else {
+          verdict[e] = r.status.code() == StatusCode::kUnavailable ||
+                               r.status.code() == StatusCode::kOverloaded
+                           ? 2
+                           : 3;
+        }
+      });
+    }
+    for (char v : verdict) {
+      if (v == 2) ++rep.storm_typed_errors;
+      if (v == 3) rep.storm_rows_match = false;
+    }
+    rep.retries_acquired = server.retry_budget()->acquired();
+    rep.budget_denied = server.retry_budget()->denied();
+    std::printf(
+        "resilience: retry storm: %llu/%llu budget tokens drawn across %d "
+        "sessions (%llu denied, %d typed errors)\n\n",
+        static_cast<unsigned long long>(rep.retries_acquired),
+        static_cast<unsigned long long>(rep.budget_capacity),
+        rep.storm_sessions, static_cast<unsigned long long>(rep.budget_denied),
+        rep.storm_typed_errors);
+  }
+  return rep;
 }
 
 struct DistributionReport {
@@ -402,11 +634,32 @@ int Main(int argc, char** argv) {
     reports.push_back(std::move(report));
   }
 
+  ResilienceReport resilience;
+  bool ran_resilience = false;
+  if (flags.faults) {
+    std::printf("--- resilience sweep (--faults) ---\n");
+    resilience = RunResilience(graph, cluster, partitioner, options,
+                               templates, flags);
+    ran_resilience = true;
+    std::printf(
+        "resilience verdict: breaker trip session %d (threshold %d), "
+        "post-trip crash detections %llu, hedged p99 %s un-hedged, "
+        "retries %llu <= budget %llu: %s\n\n",
+        resilience.breaker_trip_session, resilience.failure_threshold,
+        static_cast<unsigned long long>(
+            resilience.post_trip_crash_detections),
+        resilience.hedged_p99_ms <= resilience.unhedged_p99_ms ? "<=" : ">",
+        static_cast<unsigned long long>(resilience.retries_acquired),
+        static_cast<unsigned long long>(resilience.budget_capacity),
+        resilience.ok() ? "OK" : "VIOLATED");
+  }
+
   bool all_ok = true;
   for (const DistributionReport& r : reports) {
     all_ok = all_ok && r.plans_identical && r.rows_identical &&
              r.fault_rows_match;
   }
+  if (ran_resilience) all_ok = all_ok && resilience.ok();
 
   if (!flags.json.empty()) {
     std::string json = "{\n";
@@ -450,7 +703,46 @@ int Main(int argc, char** argv) {
           i + 1 < reports.size() ? "," : "");
       json += buf;
     }
-    json += "  }\n}\n";
+    json += "  }";
+    if (ran_resilience) {
+      const ResilienceReport& r = resilience;
+      json += ",\n  \"resilience\": {\n";
+      std::snprintf(
+          buf, sizeof(buf),
+          "    \"sick_node\": {\"sessions\": %d, \"failure_threshold\": %d, "
+          "\"breaker_trip_session\": %d, \"post_trip_crash_detections\": "
+          "%llu, \"post_trip_quarantined_sessions\": %d, \"rows_match\": "
+          "%s},\n",
+          r.sick_sessions, r.failure_threshold, r.breaker_trip_session,
+          static_cast<unsigned long long>(r.post_trip_crash_detections),
+          r.post_trip_quarantined_sessions,
+          r.sick_rows_match ? "true" : "false");
+      json += buf;
+      std::snprintf(
+          buf, sizeof(buf),
+          "    \"hedging\": {\"unhedged_p99_ms\": %.4f, \"hedged_p99_ms\": "
+          "%.4f, \"hedge_launches\": %llu, \"hedge_wins\": %llu, "
+          "\"rows_match\": %s},\n",
+          r.unhedged_p99_ms, r.hedged_p99_ms,
+          static_cast<unsigned long long>(r.hedge_launches),
+          static_cast<unsigned long long>(r.hedge_wins),
+          r.hedge_rows_match ? "true" : "false");
+      json += buf;
+      std::snprintf(
+          buf, sizeof(buf),
+          "    \"retry_storm\": {\"sessions\": %d, \"budget_capacity\": "
+          "%llu, \"retries_acquired\": %llu, \"budget_denied\": %llu, "
+          "\"typed_errors\": %d, \"within_budget\": %s, \"rows_match\": "
+          "%s},\n    \"ok\": %s\n  }",
+          r.storm_sessions, static_cast<unsigned long long>(r.budget_capacity),
+          static_cast<unsigned long long>(r.retries_acquired),
+          static_cast<unsigned long long>(r.budget_denied),
+          r.storm_typed_errors,
+          r.retries_acquired <= r.budget_capacity ? "true" : "false",
+          r.storm_rows_match ? "true" : "false", r.ok() ? "true" : "false");
+      json += buf;
+    }
+    json += "\n}\n";
     FILE* f = std::fopen(flags.json.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());

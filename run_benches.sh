@@ -23,7 +23,7 @@ timeout 2400 /root/repo/build/bench/bench_parallel --threads=1,2,4,8 \
 echo "(exit: $?)" >> "$out"
 echo >> "$out"
 echo "############ bench_serve ############" >> "$out"
-timeout 2400 /root/repo/build/bench/bench_serve \
+timeout 2400 /root/repo/build/bench/bench_serve --faults \
   --json=/root/repo/BENCH_serve.json >> "$out" 2>&1
 echo "(exit: $?)" >> "$out"
 echo >> "$out"

@@ -1,7 +1,10 @@
 #include "common/fault.h"
 
 #include <chrono>
+#include <cmath>
 #include <thread>
+
+#include "common/metrics.h"
 
 namespace parqo {
 
@@ -45,9 +48,36 @@ void FaultPlan::DropShipments(double p, std::uint64_t seed) {
   drop_rng_ = Rng(seed);
 }
 
+void FaultPlan::SickNode(int node) {
+  PARQO_CHECK(node >= 0 && node < num_nodes());
+  nodes_[node].sick.store(1, std::memory_order_relaxed);
+}
+
+void FaultPlan::CureNode(int node) {
+  PARQO_CHECK(node >= 0 && node < num_nodes());
+  nodes_[node].sick.store(0, std::memory_order_relaxed);
+}
+
+double FaultPlan::PeekDelaySeconds(int node) const {
+  PARQO_CHECK(node >= 0 && node < num_nodes());
+  return nodes_[node].slow_seconds;
+}
+
+bool FaultPlan::IsSick(int node) const {
+  PARQO_CHECK(node >= 0 && node < num_nodes());
+  return nodes_[node].sick.load(std::memory_order_relaxed) != 0;
+}
+
 bool FaultPlan::BeginNodeOp(int node) {
   PARQO_CHECK(node >= 0 && node < num_nodes());
   NodeSchedule& sched = nodes_[node];
+  // A sick node refuses the probe outright: no straggler sleep, no
+  // operator-counter advance, no one-shot event consumed. Persistent by
+  // design — the detection repeats every query until CureNode().
+  if (sched.sick.load(std::memory_order_relaxed) != 0) {
+    sick_refusals_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (sched.slow_seconds > 0) {
     slow_ops_.fetch_add(1, std::memory_order_relaxed);
     SleepSeconds(sched.slow_seconds);
@@ -73,6 +103,46 @@ bool FaultPlan::DeliverShipment() {
   }
   if (dropped) drops_fired_.fetch_add(1, std::memory_order_relaxed);
   return !dropped;
+}
+
+std::uint64_t RetryBudget::AllowanceNow() const {
+  if (refill_per_second_ <= 0) return capacity_;
+  double accrued = since_.ElapsedSeconds() * refill_per_second_;
+  // Saturate instead of overflowing for long-lived processes.
+  if (accrued >= static_cast<double>(~std::uint64_t{0} - capacity_)) {
+    return ~std::uint64_t{0};
+  }
+  return capacity_ + static_cast<std::uint64_t>(std::floor(accrued));
+}
+
+bool RetryBudget::TryAcquire() {
+  std::uint64_t cur = acquired_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= AllowanceNow()) {
+      denied_.fetch_add(1, std::memory_order_relaxed);
+      if (MetricsEnabled()) {
+        MetricsRegistry::Global()
+            .counter("server.retry_budget.denied")
+            .Add(1);
+      }
+      return false;
+    }
+    if (acquired_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed)) {
+      if (MetricsEnabled()) {
+        MetricsRegistry::Global()
+            .counter("server.retry_budget.acquired")
+            .Add(1);
+      }
+      return true;
+    }
+  }
+}
+
+std::uint64_t RetryBudget::remaining() const {
+  std::uint64_t allowance = AllowanceNow();
+  std::uint64_t used = acquired_.load(std::memory_order_relaxed);
+  return used >= allowance ? 0 : allowance - used;
 }
 
 void SleepSeconds(double seconds) {

@@ -18,6 +18,11 @@
 //   drop   - flaky network: each shipment is lost with probability p,
 //            decided by a deterministic per-probe Bernoulli draw. Drops
 //            can repeat on retry, which is what exhausts retry budgets.
+//   sick   - a persistently failing node: every probe is refused until
+//            CureNode() revives it. Unlike the one-shot crash event this
+//            models cross-query sickness (and, cycled, a flapping node),
+//            which is what the NodeHealthRegistry's circuit breakers
+//            (exec/health.h, DESIGN.md section 16) exist to absorb.
 //
 // Plans are injected with an RAII FaultScope. When no scope is active the
 // executor's probe is a single relaxed atomic load of a null pointer —
@@ -84,6 +89,16 @@ class FaultPlan {
   /// Drops each shipment independently with probability `p`, drawn from
   /// a dedicated Rng seeded with `seed`.
   void DropShipments(double p, std::uint64_t seed);
+  /// Marks node `node` persistently sick: every BeginNodeOp probe is
+  /// refused (no sleep, no counter advance) until CureNode(). Unlike the
+  /// one-shot crash this survives across queries, so consecutive
+  /// sessions keep failing against the node — the workload a circuit
+  /// breaker exists for. Safe to call between queries while a scope is
+  /// active (atomic flag flip).
+  void SickNode(int node);
+  /// Revives a sick node; the next probe succeeds again. Alternating
+  /// SickNode/CureNode is the flapping-node chaos scenario.
+  void CureNode(int node);
 
   /// Executor probe: called once per (operator, node) work item before
   /// the work runs. Applies straggler delay, advances the node's operator
@@ -96,6 +111,16 @@ class FaultPlan {
   /// repartition batch). Returns false when the flaky network eats it.
   bool DeliverShipment();
 
+  /// The straggler delay the next BeginNodeOp(node) would pay, without
+  /// sleeping or advancing any counter. In the simulated cluster an
+  /// attempt's in-flight time IS its injected delay, so this peek is the
+  /// hedging scheduler's "elapsed time exceeded the threshold"
+  /// observation, available at dispatch (exec/health.h).
+  double PeekDelaySeconds(int node) const;
+
+  /// True while `node` is marked sick (probes are being refused).
+  bool IsSick(int node) const;
+
   /// Injection counters, for harness reporting and coverage assertions.
   std::uint64_t crashes_fired() const {
     return crashes_fired_.load(std::memory_order_relaxed);
@@ -106,11 +131,15 @@ class FaultPlan {
   std::uint64_t slow_ops() const {
     return slow_ops_.load(std::memory_order_relaxed);
   }
+  std::uint64_t sick_refusals() const {
+    return sick_refusals_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct NodeSchedule {
     std::atomic<std::uint64_t> ops{0};       ///< Operator counter.
     std::atomic<std::uint64_t> crash_at{kNever};
+    std::atomic<char> sick{0};               ///< Persistent refusal flag.
     double slow_seconds = 0;                 ///< 0 = not a straggler.
   };
 
@@ -127,6 +156,7 @@ class FaultPlan {
   std::atomic<std::uint64_t> crashes_fired_{0};
   std::atomic<std::uint64_t> drops_fired_{0};
   std::atomic<std::uint64_t> slow_ops_{0};
+  std::atomic<std::uint64_t> sick_refusals_{0};
 };
 
 namespace fault_internal {
@@ -160,6 +190,52 @@ class FaultScope {
   FaultPlan* prev_;
 };
 
+/// Cluster-wide token bucket bounding the TOTAL number of retries across
+/// every concurrent session (DESIGN.md section 16). Per-query RetryPolicy
+/// bounds how hard ONE query tries; under correlated faults N concurrent
+/// queries each retrying K times is an N*K storm against a cluster that
+/// is already sick. The budget caps the storm: each retry attempt
+/// (never the first attempt) must win a token, and an empty bucket
+/// degrades the query to a typed kUnavailable instead of more backoff.
+///
+/// Lock-free: the bucket is a monotonic allowance — at time t since
+/// construction, at most `capacity + floor(t * refill_per_second)` tokens
+/// may ever have been acquired — claimed with one CAS per acquire. With
+/// refill 0 it is a fixed budget: total retries <= capacity, exactly the
+/// bound the chaos sweeps assert.
+class RetryBudget {
+ public:
+  explicit RetryBudget(std::uint64_t capacity,
+                       double refill_per_second = 0.0)
+      : capacity_(capacity), refill_per_second_(refill_per_second) {}
+
+  RetryBudget(const RetryBudget&) = delete;
+  RetryBudget& operator=(const RetryBudget&) = delete;
+
+  /// Claims one token; false when the bucket is (currently) empty.
+  /// Exported as server.retry_budget.{acquired,denied} metrics.
+  bool TryAcquire();
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t acquired() const {
+    return acquired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t denied() const {
+    return denied_.load(std::memory_order_relaxed);
+  }
+  /// Tokens still claimable right now (saturating at 0).
+  std::uint64_t remaining() const;
+
+ private:
+  std::uint64_t AllowanceNow() const;
+
+  const std::uint64_t capacity_;
+  const double refill_per_second_;
+  Stopwatch since_;  ///< Steady clock; refill accrues from construction.
+  std::atomic<std::uint64_t> acquired_{0};
+  std::atomic<std::uint64_t> denied_{0};
+};
+
 /// Bounded-retry policy with exponential backoff, deterministic jitter,
 /// and deadline awareness. Shared by the executor's recovery loop; the
 /// defaults keep simulated retries free (no backoff sleep) while still
@@ -172,6 +248,11 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   /// Each backoff is scaled by a uniform factor in [1 - j, 1 + j].
   double jitter_fraction = 0.25;
+  /// Optional shared cluster-wide budget (not owned; must outlive every
+  /// Retry built from this policy). When set, every attempt after the
+  /// first draws one token; an empty bucket stops the retry loop with
+  /// budget_exhausted() so callers report kUnavailable.
+  RetryBudget* budget = nullptr;
 };
 
 /// One operation's retry state: attempt budget, deadline, and the
@@ -185,20 +266,41 @@ class Retry {
         deadline_(deadline),
         next_backoff_(policy.initial_backoff_seconds) {}
 
-  /// True while another attempt may start: budget left, deadline alive.
-  bool ShouldRetry() const {
-    return attempts_started_ < policy_.max_attempts && !deadline_.Expired();
+  /// True while another attempt may start: attempt budget left, deadline
+  /// alive, and — for attempts after the first, when the policy carries a
+  /// cluster-wide RetryBudget — a token claimable. The token is claimed
+  /// here (at most one per approved retry; a held token survives repeated
+  /// calls) and consumed by BeginAttempt(), so every started retry
+  /// accounts for exactly one budget draw.
+  bool ShouldRetry() {
+    if (attempts_started_ >= policy_.max_attempts || deadline_.Expired()) {
+      return false;
+    }
+    if (attempts_started_ > 0 && policy_.budget != nullptr &&
+        !token_held_) {
+      token_held_ = policy_.budget->TryAcquire();
+      if (!token_held_) {
+        budget_exhausted_ = true;
+        return false;
+      }
+    }
+    return true;
   }
 
   /// Records the start of an attempt; returns its 0-based index.
   /// Requires ShouldRetry().
   int BeginAttempt() {
     PARQO_CHECK(ShouldRetry());
+    token_held_ = false;
     return attempts_started_++;
   }
 
   int attempts_started() const { return attempts_started_; }
   const Deadline& deadline() const { return deadline_; }
+  /// True when the retry loop stopped because the shared RetryBudget ran
+  /// dry (as opposed to per-query attempts or the deadline) — callers
+  /// surface this in the typed kUnavailable message.
+  bool budget_exhausted() const { return budget_exhausted_; }
 
   /// The jittered backoff to wait before the next attempt. Clamped to
   /// [0, max_backoff_seconds] — the exponential growth saturates instead
@@ -231,6 +333,8 @@ class Retry {
   Deadline deadline_;
   int attempts_started_ = 0;
   double next_backoff_;
+  bool token_held_ = false;
+  bool budget_exhausted_ = false;
 };
 
 /// The codebase's single sanctioned sleep (see the naked-sleep rule in

@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/health.h"
 #include "exec/join_kernel.h"
 #include "exec/reference_join.h"
 #include "partition/partitioner.h"
@@ -46,8 +47,15 @@ void ForEachNode(int n, bool parallel,
 struct Recovery {
   // parqo-lint: allow(guarded-field) installed once before workers start
   FaultPlan* fault = nullptr;
+  // parqo-lint: allow(guarded-field) installed once before workers start
+  NodeHealthRegistry* health = nullptr;
   // parqo-lint: allow(guarded-field) read-only after per-run setup
   RetryPolicy policy;
+
+  /// Whether the run pays for per-item probes and timing: either fault
+  /// injection is active or a health registry wants latency samples. The
+  /// plain path stays byte-for-byte the un-instrumented executor.
+  bool instrumented() const { return fault != nullptr || health != nullptr; }
   /// Guards alive/host/alive_count plus the ExecMetrics recovery fields
   /// (recovery_attempts / operators_reexecuted / degraded_nodes), which
   /// live outside this struct and so cannot carry the GUARDED_BY
@@ -109,6 +117,11 @@ Status RunOnePartition(Recovery& rec, ExecMetrics& m, const char* op,
       host = rec.host[part];
     }
     if (!retry.ShouldRetry()) {
+      if (retry.budget_exhausted()) {
+        return Status::Unavailable(
+            std::string(op) + " on partition " + std::to_string(part) +
+            ": cluster retry budget exhausted");
+      }
       return Status::Unavailable(
           std::string(op) + " on partition " + std::to_string(part) +
           " failed after " + std::to_string(retry.attempts_started()) +
@@ -119,15 +132,57 @@ Status RunOnePartition(Recovery& rec, ExecMetrics& m, const char* op,
       MutexLock lock(rec.mu);
       ++m.recovery_attempts;
     }
-    if (!rec.fault->BeginNodeOp(host)) {
+    // Hedged straggler mitigation. The attempt's in-flight time on the
+    // simulated cluster IS its injected delay, known at dispatch
+    // (FaultPlan::PeekDelaySeconds), so the "elapsed > threshold, launch
+    // a speculative copy" watchdog collapses to a deterministic check.
+    // Winner rule: the copy with the strictly smaller in-flight delay
+    // completes first; ties keep the primary. Both copies would read the
+    // same durable partition (work(part) is keyed on the LOGICAL
+    // partition; the host only decides whose fault schedule is probed),
+    // so the winner's rows are bit-identical to the non-hedged run.
+    if (rec.health != nullptr && rec.fault != nullptr) {
+      double delay = rec.fault->PeekDelaySeconds(host);
+      if (delay > rec.health->HedgeThresholdSeconds()) {
+        int hedge = -1;
+        double hedge_delay = delay;
+        MutexLock lock(rec.mu);
+        for (std::size_t i = 0; i < rec.alive.size(); ++i) {
+          int cand = static_cast<int>(i);
+          if (!rec.alive[i] || cand == host) continue;
+          double d = rec.fault->PeekDelaySeconds(cand);
+          if (d <= delay) {
+            hedge = cand;
+            hedge_delay = d;
+            break;
+          }
+        }
+        if (hedge >= 0) {
+          ++m.hedged_ops;
+          if (hedge_delay < delay) {
+            ++m.hedge_wins;
+            host = hedge;  // the hedge wins; the straggler copy is dropped
+          }
+        }
+      }
+    }
+    Stopwatch op_watch;
+    if (rec.fault != nullptr && !rec.fault->BeginNodeOp(host)) {
+      if (rec.health != nullptr) rec.health->RecordNodeFailure(host);
+      {
+        MutexLock lock(rec.mu);
+        ++m.node_failures[host];
+      }
       CrashNode(rec, m, host);
       SleepSeconds(retry.NextBackoffSeconds());
       continue;
     }
     work(part);
-    if (attempt > 0) {
+    {
       MutexLock lock(rec.mu);
-      ++m.operators_reexecuted;
+      m.node_busy_seconds[host] += op_watch.ElapsedSeconds();
+      ++m.node_ops[host];
+      if (attempt > 0) ++m.operators_reexecuted;
     }
     return Status::Ok();
   }
@@ -139,7 +194,7 @@ Status RunOnePartition(Recovery& rec, ExecMetrics& m, const char* op,
 template <typename Work>
 Status RunPartitioned(Recovery& rec, ExecMetrics& m, const char* op, int n,
                       bool parallel, Work&& work) {
-  if (rec.fault == nullptr) {
+  if (!rec.instrumented()) {
     ForEachNode(n, parallel, work);
     return Status::Ok();
   }
@@ -169,6 +224,11 @@ Status DeliverBatch(Recovery& rec, ExecMetrics& m, const char* op,
               0x2545f4914f6cdd1dULL ^ static_cast<std::uint64_t>(target));
   for (;;) {
     if (!retry.ShouldRetry()) {
+      if (retry.budget_exhausted()) {
+        return Status::Unavailable(
+            std::string(op) + " shipment to node " +
+            std::to_string(target) + ": cluster retry budget exhausted");
+      }
       return Status::Unavailable(
           std::string(op) + " shipment to node " + std::to_string(target) +
           " lost after " + std::to_string(retry.attempts_started()) +
@@ -241,13 +301,15 @@ struct Executor::DistTable {
 
 Executor::Executor(const Cluster& cluster, const JoinGraph& jg,
                    CostParams cost_params, bool parallel_nodes,
-                   RetryPolicy retry, ExecEngine engine)
+                   RetryPolicy retry, ExecEngine engine,
+                   NodeHealthRegistry* health)
     : cluster_(cluster),
       jg_(jg),
       cost_model_(cost_params),
       parallel_nodes_(parallel_nodes),
       retry_(retry),
-      engine_(engine) {}
+      engine_(engine),
+      health_(health) {}
 
 BindingTable Executor::Join(const BindingTable& left,
                             const BindingTable& right) const {
@@ -270,16 +332,37 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
   m.node_rows_scanned.assign(n, 0);
   m.node_rows_received.assign(n, 0);
   m.node_rows_joined.assign(n, 0);
+  m.node_busy_seconds.assign(n, 0.0);
+  m.node_ops.assign(n, 0);
+  m.node_failures.assign(n, 0);
 
   Recovery rec;
   rec.fault = ActiveFaultPlan();
-  if (rec.fault != nullptr) {
-    PARQO_CHECK(rec.fault->num_nodes() >= n);
+  rec.health = health_;
+  if (rec.instrumented()) {
+    if (rec.fault != nullptr) PARQO_CHECK(rec.fault->num_nodes() >= n);
     rec.policy = retry_;
     rec.alive.assign(n, 1);
     rec.host.resize(n);
     std::iota(rec.host.begin(), rec.host.end(), 0);
     rec.alive_count = n;
+  }
+  if (rec.health != nullptr) {
+    PARQO_CHECK(rec.health->num_nodes() >= n);
+    // Pre-emptive quarantine: partitions hosted by open-breaker nodes
+    // are re-homed to survivors BEFORE any work dispatches, so the
+    // session never probes (and never crash-detects) a known-sick node.
+    // The last survivor is never quarantined — a query beats no query.
+    MutexLock lock(rec.mu);
+    for (int i = 0; i < n; ++i) {
+      if (rec.alive_count <= 1) break;
+      if (!rec.health->AllowRoute(i)) {
+        rec.alive[i] = 0;
+        --rec.alive_count;
+        m.quarantined_nodes.push_back(i);
+      }
+    }
+    for (int q : m.quarantined_nodes) RehomeLocked(rec, q);
   }
 
   // Recursive evaluation; fills the distributed table and the measured
@@ -468,6 +551,9 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     m.node_rows_scanned.assign(n, 0);
     m.node_rows_received.assign(n, 0);
     m.node_rows_joined.assign(n, 0);
+    m.node_busy_seconds.assign(n, 0.0);
+    m.node_ops.assign(n, 0);
+    m.node_failures.assign(n, 0);
     m.wall_seconds = wall;
     if (MetricsEnabled()) {
       MetricsRegistry::Global().counter("exec.failures").Add(1);
@@ -502,6 +588,14 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
       reg.counter("exec.shipments_dropped").Add(m.shipments_dropped);
       reg.counter("exec.node_crashes")
           .Add(static_cast<std::uint64_t>(m.degraded_nodes.size()));
+    }
+    if (m.hedged_ops > 0) {
+      reg.counter("server.health.hedged_ops").Add(m.hedged_ops);
+      reg.counter("server.health.hedge_wins").Add(m.hedge_wins);
+    }
+    if (!m.quarantined_nodes.empty()) {
+      reg.counter("server.health.nodes_quarantined")
+          .Add(static_cast<std::uint64_t>(m.quarantined_nodes.size()));
     }
   }
   return result;

@@ -89,6 +89,21 @@ struct ExecMetrics {
   std::uint64_t rows_reshipped = 0;       ///< Rows sent again after a drop.
   std::uint64_t shipments_dropped = 0;    ///< Batches the network ate.
   std::vector<int> degraded_nodes;        ///< Nodes that crashed, in order.
+
+  /// Health instrumentation (exec/health.h; populated only when the run
+  /// is instrumented, i.e. a FaultScope is active or a
+  /// NodeHealthRegistry is attached — the plain path stays untimed).
+  /// Per-PHYSICAL-node attribution: re-homed and hedged work counts
+  /// toward the node that actually executed it.
+  std::vector<double> node_busy_seconds;      ///< Wall time in work items.
+  std::vector<std::uint64_t> node_ops;        ///< Work items completed.
+  std::vector<std::uint64_t> node_failures;   ///< Probe failures detected.
+  std::uint64_t hedged_ops = 0;  ///< Speculative re-executions launched.
+  std::uint64_t hedge_wins = 0;  ///< Hedges that completed first.
+  /// Nodes pre-emptively routed around because their circuit breaker was
+  /// open at dispatch (never probed, so they cost no mid-query crash
+  /// detection and do not appear in degraded_nodes).
+  std::vector<int> quarantined_nodes;
 };
 
 /// Resolves a pattern's constants against the dictionary and its variables
@@ -103,17 +118,23 @@ ResolvedPattern BindPattern(const TriplePattern& pattern,
 /// produce bit-identical BindingTables (DESIGN.md section 13).
 enum class ExecEngine { kRow, kBatch };
 
+class NodeHealthRegistry;  // exec/health.h
+
 class Executor {
  public:
   /// All references must outlive the executor. With `parallel_nodes` the
   /// per-node work of every operator (scans and joins) runs on one
   /// thread per simulated node, like the real cluster would. `retry`
   /// bounds fault recovery; it is irrelevant without an active
-  /// FaultScope.
+  /// FaultScope. `health` (optional, not owned) attaches the cross-query
+  /// resilience layer: open-breaker nodes are quarantined at dispatch,
+  /// straggling work is hedged against the registry's threshold, and
+  /// mid-query crash detections are reported back immediately.
   Executor(const Cluster& cluster, const JoinGraph& jg,
            CostParams cost_params, bool parallel_nodes = false,
            RetryPolicy retry = RetryPolicy{},
-           ExecEngine engine = ExecEngine::kBatch);
+           ExecEngine engine = ExecEngine::kBatch,
+           NodeHealthRegistry* health = nullptr);
 
   /// Executes `plan` and returns the deduplicated global result over all
   /// of the query's variables. Fills `metrics` if non-null; on error the
@@ -133,6 +154,7 @@ class Executor {
   bool parallel_nodes_;
   RetryPolicy retry_;
   ExecEngine engine_;
+  NodeHealthRegistry* health_;
 };
 
 /// Convenience: executes and projects onto the query's SELECT variables.

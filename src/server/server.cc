@@ -17,8 +17,21 @@ QueryServer::QueryServer(const RdfGraph& graph, const Cluster& cluster,
       partitioner_(partitioner),
       config_(std::move(config)),
       stats_(StatsFromData(graph)),
+      health_(config_.enable_health
+                  ? std::make_unique<NodeHealthRegistry>(
+                        cluster.num_nodes(), config_.health)
+                  : nullptr),
+      retry_budget_(config_.retry_budget > 0
+                        ? std::make_unique<RetryBudget>(
+                              config_.retry_budget,
+                              config_.retry_budget_refill_per_second)
+                        : nullptr),
       cache_(config_.cache_shards, config_.cache_shard_capacity),
-      admission_(config_.max_in_flight),
+      admission_(AdmissionConfig{config_.max_in_flight,
+                                 config_.admission_queue,
+                                 config_.admission_queue_wait_seconds,
+                                 config_.shed_p99_seconds},
+                 health_.get()),
       optimizer_(config_.num_threads) {}
 
 ServeResult QueryServer::Serve(const std::vector<TriplePattern>& patterns,
@@ -131,12 +144,23 @@ ServeResult QueryServer::ServeAdmitted(
   // optimized against, because canonical order is a function of the
   // signature alone.
   JoinGraph jg(canon.patterns);
+  RetryPolicy retry = config_.retry;
+  retry.budget = retry_budget_.get();  // null = per-query policy only
   Executor executor(cluster_, jg, config_.options.cost_params,
-                    config_.parallel_exec_nodes, config_.retry,
-                    config_.engine);
+                    config_.parallel_exec_nodes, retry, config_.engine,
+                    health_.get());
   Stopwatch exec_watch;
   Result<BindingTable> rows = executor.Execute(*entry.plan, &out.exec_metrics);
   out.execute_seconds = exec_watch.ElapsedSeconds();
+  // Feed the health registry failed-or-not: failures already reached it
+  // mid-query (breakers trip on detection), successes carry the latency
+  // samples, and every session's wall time updates the admission p99.
+  if (health_ != nullptr) health_->RecordSession(out.exec_metrics);
+  if (retry_budget_ != nullptr && MetricsEnabled()) {
+    MetricsRegistry::Global()
+        .gauge("server.retry_budget.remaining")
+        .Set(static_cast<double>(retry_budget_->remaining()));
+  }
   if (!rows.ok()) {
     out.status = rows.status();
     return out;

@@ -24,20 +24,29 @@
 //                   happens while serving and an unrecoverable query
 //                   returns typed kUnavailable, never a wrong result.
 //
+// Self-healing (DESIGN.md section 16): the server owns a
+// NodeHealthRegistry (exec/health.h) fed every session's ExecMetrics.
+// Its circuit breakers make the executor route around known-sick nodes
+// BEFORE dispatch, its latency quantiles drive hedged straggler
+// re-execution, its session p99 drives admission load shedding, and an
+// optional cluster-wide RetryBudget caps the TOTAL retries concurrent
+// sessions may spend (exhaustion degrades to typed kUnavailable instead
+// of a synchronized backoff storm).
+//
 // Thread safety: Serve() is safe to call from any number of threads.
-// Shared state is the sharded cache, the atomic admission counters, and
-// the metrics registry; everything per-request lives on the session's
-// stack. The server itself owns no mutex — every lock a request can
-// touch (cache shards at LockRank::kCacheShard, pool/metrics leaves
-// below them) sits in the static hierarchy of
-// common/thread_annotations.h, and a serving thread holds at most one
-// at a time.
+// Shared state is the sharded cache, the admission front door, the
+// health registry, and the metrics registry; everything per-request
+// lives on the session's stack. Every lock a request can touch
+// (admission queue at LockRank::kAdmission, cache shards at
+// kCacheShard, health at kHealth, pool/metrics leaves below them) sits
+// in the static hierarchy of common/thread_annotations.h.
 
 #ifndef PARQO_SERVER_SERVER_H_
 #define PARQO_SERVER_SERVER_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +55,7 @@
 #include "exec/binding_table.h"
 #include "exec/cluster.h"
 #include "exec/executor.h"
+#include "exec/health.h"
 #include "optimizer/parallel_optimizer.h"
 #include "optimizer/prepared_query.h"
 #include "rdf/graph.h"
@@ -78,6 +88,26 @@ struct ServerConfig {
   bool parallel_exec_nodes = false;
   ExecEngine engine = ExecEngine::kBatch;
   RetryPolicy retry;
+
+  /// Self-healing serving (DESIGN.md section 16). With `enable_health`
+  /// the server owns a NodeHealthRegistry: sessions feed it, breakers
+  /// quarantine sick nodes, stragglers are hedged. Off restores the
+  /// memoryless pre-health behavior (and the un-instrumented executor
+  /// fast path when no FaultScope is active).
+  bool enable_health = true;
+  HealthConfig health;
+  /// Bounded admission wait-queue depth (0 = immediate rejection) and
+  /// the longest a queued request may wait for a slot.
+  int admission_queue = 16;
+  double admission_queue_wait_seconds = 0.02;
+  /// Load shedding threshold on the registry's measured session p99;
+  /// 0 disables shedding.
+  double shed_p99_seconds = 0;
+  /// Cluster-wide retry budget: total retry attempts across ALL
+  /// concurrent sessions (0 = no shared budget, per-query policy only).
+  /// `retry.budget` is overwritten to point at the server-owned bucket.
+  std::uint64_t retry_budget = 0;
+  double retry_budget_refill_per_second = 0;
 };
 
 /// Everything one served request produced.
@@ -146,6 +176,9 @@ class QueryServer {
   AdmissionController& admission() { return admission_; }
   ThreadPool& pool() { return optimizer_.pool(); }
   const ServerConfig& config() const { return config_; }
+  /// Null when the matching config knob is off.
+  NodeHealthRegistry* health() { return health_.get(); }
+  RetryBudget* retry_budget() { return retry_budget_.get(); }
 
  private:
   ServeResult ServeAdmitted(const std::vector<TriplePattern>& patterns,
@@ -156,6 +189,9 @@ class QueryServer {
   const Partitioner& partitioner_;
   ServerConfig config_;
   StatsSource stats_;
+  /// Declared before admission_: the controller borrows the registry.
+  std::unique_ptr<NodeHealthRegistry> health_;
+  std::unique_ptr<RetryBudget> retry_budget_;
   PlanCache cache_;
   AdmissionController admission_;
   /// Owns the serving pool; also used for batch optimization.

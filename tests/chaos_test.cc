@@ -25,6 +25,7 @@
 #include "common/stopwatch.h"
 #include "exec/cluster.h"
 #include "exec/executor.h"
+#include "exec/health.h"
 #include "optimizer/prepared_query.h"
 #include "partition/hash_so.h"
 #include "plan/plan.h"
@@ -409,6 +410,96 @@ TEST_F(ChaosExecutorTest, StragglerDelaysButNeverDegrades) {
   EXPECT_GT(fault.slow_ops(), 0u);
   EXPECT_TRUE(m.degraded_nodes.empty());
   EXPECT_EQ(m.recovery_attempts, 0u);
+}
+
+TEST_F(ChaosExecutorTest, StragglerPlusCrashOnSameNode) {
+  // The nastiest single-node failure mode: a node limps (straggler
+  // delay on every op) and then dies mid-plan. Recovery must still
+  // produce bit-identical rows, for both engines, serial and parallel.
+  PlanNodePtr plan = RepartitionPlan();
+  for (ExecEngine engine : {ExecEngine::kRow, ExecEngine::kBatch}) {
+    for (bool parallel : {false, true}) {
+      SCOPED_TRACE(std::string(engine == ExecEngine::kRow ? "row" : "batch") +
+                   (parallel ? " parallel" : " serial"));
+      FaultPlan fault(3);
+      fault.SlowNode(1, 1e-4);
+      fault.CrashNodeAtOp(1, 2);  // limps through two ops, then dies
+      Executor exec(*cluster_, *jg_, CostParams{}, parallel, RetryPolicy{},
+                    engine);
+      ExecMetrics m;
+      Result<BindingTable> result = [&] {
+        FaultScope scope(&fault);
+        return exec.Execute(*plan, &m);
+      }();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectExactRecovery(*result, m, Expected(), *jg_);
+      EXPECT_EQ(fault.crashes_fired(), 1u);
+      ASSERT_EQ(m.degraded_nodes.size(), 1u);
+      EXPECT_EQ(m.degraded_nodes[0], 1);
+      EXPECT_GT(fault.slow_ops(), 0u);  // the limp was real, not skipped
+      EXPECT_GE(m.recovery_attempts, 1u);
+    }
+  }
+}
+
+TEST_F(ChaosExecutorTest, FlappingNodeCrashRecoverCrash) {
+  // Flapping node: persistently sick -> cured -> sick again, across three
+  // consecutive executions sharing one fault plan and one health
+  // registry (threshold high enough that the breaker only observes; the
+  // breaker-driven quarantine path is covered in health_test). Every
+  // phase must uphold the chaos invariant for both engines, serial and
+  // parallel.
+  PlanNodePtr plan = RepartitionPlan();
+  for (ExecEngine engine : {ExecEngine::kRow, ExecEngine::kBatch}) {
+    for (bool parallel : {false, true}) {
+      SCOPED_TRACE(std::string(engine == ExecEngine::kRow ? "row" : "batch") +
+                   (parallel ? " parallel" : " serial"));
+      FaultPlan fault(3);
+      HealthConfig hc;
+      hc.failure_threshold = 1000;  // observe, never trip
+      NodeHealthRegistry health(3, hc);
+      Executor exec(*cluster_, *jg_, CostParams{}, parallel, RetryPolicy{},
+                    engine, &health);
+      FaultScope scope(&fault);
+
+      // Phase 1: node 1 is sick; every probe on it is refused until the
+      // executor re-homes its partition.
+      fault.SickNode(1);
+      ExecMetrics m1;
+      auto r1 = exec.Execute(*plan, &m1);
+      ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+      ExpectExactRecovery(*r1, m1, Expected(), *jg_);
+      ASSERT_EQ(m1.degraded_nodes.size(), 1u);
+      EXPECT_EQ(m1.degraded_nodes[0], 1);
+      EXPECT_GT(fault.sick_refusals(), 0u);
+      EXPECT_GE(health.consecutive_failures(1), 1);
+      health.RecordSession(m1);
+
+      // Phase 2: cured. The node serves again; nothing degrades and the
+      // success feedback clears its failure streak.
+      fault.CureNode(1);
+      ExecMetrics m2;
+      auto r2 = exec.Execute(*plan, &m2);
+      ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+      ExpectExactRecovery(*r2, m2, Expected(), *jg_);
+      EXPECT_TRUE(m2.degraded_nodes.empty());
+      EXPECT_EQ(m2.recovery_attempts, 0u);
+      EXPECT_GT(m2.node_ops[1], 0u);
+      health.RecordSession(m2);
+      EXPECT_EQ(health.consecutive_failures(1), 0);
+
+      // Phase 3: sick again — the flap. Detection and recovery repeat.
+      fault.SickNode(1);
+      ExecMetrics m3;
+      auto r3 = exec.Execute(*plan, &m3);
+      ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+      ExpectExactRecovery(*r3, m3, Expected(), *jg_);
+      ASSERT_EQ(m3.degraded_nodes.size(), 1u);
+      EXPECT_EQ(m3.degraded_nodes[0], 1);
+      EXPECT_GE(health.consecutive_failures(1), 1);
+      health.RecordSession(m3);
+    }
+  }
 }
 
 TEST_F(ChaosExecutorTest, EmptyFaultPlanChangesNothing) {

@@ -70,6 +70,17 @@ Four rule families, each guarding an invariant the compiler cannot see:
                         the chaos harness cannot detect. Waits must carry a
                         predicate (cv.wait(lock, pred)) or a timeout.
 
+  retry-budget          A SleepSeconds() call whose delay does not come from
+                        RetryPolicy::NextBackoffSeconds(). A hand-rolled
+                        retry loop (fixed or ad-hoc backoff) retries for
+                        free: it never draws a token from the cluster-wide
+                        RetryBudget (src/common/fault.h), so a recovery
+                        storm of such loops can amplify an outage
+                        unbounded. Every retry delay must be computed by
+                        the RetryPolicy wired to the budget; a sleep that
+                        genuinely is not a retry (startup settle, test
+                        pacing) carries an allow() saying so.
+
   Lock-discipline rules (src/ and tsa_fixtures only; the annotation header
   src/common/thread_annotations.h that implements the discipline is exempt):
 
@@ -195,6 +206,9 @@ SLEEP_RE = re.compile(
     r"\b(?:sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\("
 )
 CV_WAIT_RE = re.compile(r"[.>]\s*wait\s*\(")
+SLEEP_SECONDS_CALL_RE = re.compile(r"\bSleepSeconds\s*\(")
+# The backoff computation that draws from the cluster-wide RetryBudget.
+RETRY_BACKOFF_RE = re.compile(r"\bNextBackoffSeconds\s*\(")
 # The one sanctioned wait implementation (see SleepSeconds).
 SLEEP_EXEMPT_FILES = {"src/common/fault.h", "src/common/fault.cc"}
 # Canonical-signature computation (plan-cache keys) must be byte-stable
@@ -439,6 +453,7 @@ class Linter:
         self.check_exec_row(rel, code_lines, allowed)
         self.check_metric_writes(rel, code_lines, allowed)
         self.check_naked_sleep(rel, code_lines, allowed)
+        self.check_retry_budget(rel, code_lines, allowed)
         self.check_lock_discipline(rel, code_lines, allowed)
         self.check_guarded_fields(rel, code_lines, allowed)
         self.check_lock_rank_order(rel, path, code_lines, allowed)
@@ -592,6 +607,45 @@ class Linter:
             if msg is None or allowed(lineno, rule):
                 continue
             self.report(rel, lineno, rule, msg)
+
+    def check_retry_budget(self, rel, code_lines, allowed):
+        rule = "retry-budget"
+        if rel in SLEEP_EXEMPT_FILES:
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            m = SLEEP_SECONDS_CALL_RE.search(code)
+            if m is None or allowed(lineno, rule):
+                continue
+            # Collect the argument expression: from the opening paren to
+            # its balanced close, spilling over a few continuation lines.
+            arg = code[m.end() - 1:]
+            for extra in range(5):
+                balance = 0
+                closed = False
+                for ch in arg:
+                    if ch == "(":
+                        balance += 1
+                    elif ch == ")":
+                        balance -= 1
+                        if balance == 0:
+                            closed = True
+                            break
+                if closed:
+                    break
+                nxt = lineno + extra  # code_lines is 0-based: next line
+                if nxt >= len(code_lines):
+                    break
+                arg += " " + code_lines[nxt]
+            if RETRY_BACKOFF_RE.search(arg):
+                continue
+            self.report(
+                rel, lineno, rule,
+                "retry delay not drawn from the cluster retry budget: "
+                "compute it with RetryPolicy::NextBackoffSeconds() "
+                "(src/common/fault.h) so each retry claims a RetryBudget "
+                "token, or allow(retry-budget) a sleep that is not a "
+                "retry",
+            )
 
     def check_lock_discipline(self, rel, code_lines, allowed):
         """Per-line lock rules: raw-std-mutex, mutex-rank, naked-lock,

@@ -114,6 +114,27 @@ class ExistingRules(LintHarness):
         self.assert_clean(
             "naked-sleep", "void F() { SleepSeconds(0.1); }\n")
 
+    def test_retry_budget(self):
+        bad = "void F() { while (!ok) SleepSeconds(0.05); }\n"
+        self.assert_fires("retry-budget", bad)
+        conforming = (
+            "void F() { SleepSeconds(retry.NextBackoffSeconds()); }\n")
+        self.assert_clean("retry-budget", conforming)
+        # The argument may spill onto a continuation line.
+        multiline = ("void F() {\n"
+                     "  SleepSeconds(\n"
+                     "      retry.NextBackoffSeconds());\n"
+                     "}\n")
+        self.assert_clean("retry-budget", multiline)
+        not_a_retry = (
+            "// parqo-lint: allow(retry-budget) startup settle, not a retry\n"
+            "void F() { SleepSeconds(0.05); }\n")
+        self.assert_clean("retry-budget", not_a_retry)
+        # fault.cc owns SleepSeconds and the injection delays themselves.
+        self.assert_clean("retry-budget",
+                          "void F() { SleepSeconds(0.05); }\n",
+                          rel="src/common/fault.cc")
+
     def test_unordered_in_signature(self):
         src = "std::unordered_map<int, int> m;\n"
         self.assert_fires("unordered-in-signature", src,

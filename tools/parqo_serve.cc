@@ -4,7 +4,7 @@
 //
 //   parqo_serve [--data=FILE.nt] [--nodes=N] [--deadline=S]
 //               [--algorithm=tdauto|tdcmd|tdcmdp|hgr|msc|dpbushy|binary]
-//               [--max-in-flight=N] [--max-rows=N] [--stats]
+//               [--max-in-flight=N] [--max-rows=N] [--stats] [--saturate]
 //
 // Reads SELECT queries from stdin, separated by blank lines (or one
 // query when the input has none), serves each, and prints rows plus the
@@ -14,6 +14,13 @@
 //   echo 'SELECT * WHERE { ?s ?p ?o }' | parqo_serve
 //
 // works out of the box. --stats dumps cache counters on exit.
+//
+// Exit codes distinguish what a wrapping script should do: 0 all served,
+// 75 (EX_TEMPFAIL) every failure was RETRYABLE (kOverloaded /
+// kUnavailable — transient overload or exhausted recovery; back off and
+// re-submit), 1 at least one fatal failure (parse error, invalid query),
+// 2 usage. --saturate is a test hook that fills every admission slot
+// first, so each query is turned away with the typed kOverloaded.
 
 #include <cstdio>
 #include <cstring>
@@ -39,7 +46,17 @@ struct ServeOptions {
   int max_in_flight = 64;
   std::size_t max_rows = 20;
   bool stats = false;
+  bool saturate = false;
 };
+
+/// Exit code for "every failure was transient" (sysexits EX_TEMPFAIL):
+/// the caller should back off and re-submit, not page anyone.
+constexpr int kExitRetryable = 75;
+
+bool IsRetryable(const parqo::Status& s) {
+  return s.code() == parqo::StatusCode::kOverloaded ||
+         s.code() == parqo::StatusCode::kUnavailable;
+}
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
@@ -47,8 +64,10 @@ int Usage(const char* argv0) {
                "          [--algorithm=tdauto|tdcmd|tdcmdp|hgr|msc|dpbushy|"
                "binary]\n"
                "          [--max-in-flight=N] [--max-rows=N] [--stats]\n"
-               "Queries are read from stdin, separated by blank lines.\n",
-               argv0);
+               "          [--saturate]\n"
+               "Queries are read from stdin, separated by blank lines.\n"
+               "Exit: 0 ok, %d all failures retryable, 1 fatal, 2 usage.\n",
+               argv0, kExitRetryable);
   return 2;
 }
 
@@ -75,6 +94,8 @@ bool ParseArgs(int argc, char** argv, ServeOptions* opts) {
       opts->max_rows = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--stats") {
       opts->stats = true;
+    } else if (arg == "--saturate") {
+      opts->saturate = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -149,19 +170,39 @@ int main(int argc, char** argv) {
   config.max_in_flight = opts.max_in_flight;
   parqo::QueryServer server(graph, cluster, partitioner, config);
 
-  int failures = 0;
+  if (opts.saturate) {
+    // Test hook: occupy every admission slot so each served query is
+    // rejected with the typed kOverloaded (slots are never released; the
+    // process exits right after the query loop).
+    int held = 0;
+    while (server.admission().TryAdmit()) ++held;
+    std::fprintf(stderr, "saturated: holding %d admission slots\n", held);
+  }
+
+  int fatal_failures = 0;
+  int retryable_failures = 0;
   for (const std::string& text : ReadQueries()) {
     auto parsed = parqo::ParseSparql(text);
     if (!parsed.ok()) {
       std::fprintf(stderr, "parse error: %s\n",
                    parsed.status().ToString().c_str());
-      ++failures;
+      ++fatal_failures;
       continue;
     }
     parqo::ServeResult r = server.Serve(parsed->patterns);
     if (!r.status.ok()) {
-      std::fprintf(stderr, "serve error: %s\n", r.status.ToString().c_str());
-      ++failures;
+      if (IsRetryable(r.status)) {
+        std::fprintf(stderr, "serve error (retryable): %s\n",
+                     r.status.ToString().c_str());
+        std::fprintf(stderr,
+                     "retry: transient overload/unavailability -- back off "
+                     "and re-submit this query\n");
+        ++retryable_failures;
+      } else {
+        std::fprintf(stderr, "serve error: %s\n",
+                     r.status.ToString().c_str());
+        ++fatal_failures;
+      }
       continue;
     }
     std::printf("# signature: %s\n", r.signature.c_str());
@@ -209,5 +250,6 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(server.admission().admitted()),
         static_cast<unsigned long long>(server.admission().rejected()));
   }
-  return failures == 0 ? 0 : 1;
+  if (fatal_failures > 0) return 1;
+  return retryable_failures > 0 ? kExitRetryable : 0;
 }
