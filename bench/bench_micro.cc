@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 #include "partition/local_query_index.h"
 #include "query/query_graph.h"
 #include "stats/estimator.h"
+#include "storage/compressed_index.h"
 #include "workload/random_query.h"
 
 namespace parqo {
@@ -513,6 +515,142 @@ void BM_SingleKeyJoinGeneric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SingleKeyJoinGeneric)->Arg(4096)->Arg(65536);
+
+// ---------------------------------------------------------------------------
+// Compressed storage kernels (DESIGN.md section 17): page decode, seek,
+// and ordered-merge cost against the flat-vector machinery they replace.
+
+std::vector<IndexKey> MakeSortedKeys(int n) {
+  Rng rng(2017);
+  std::vector<IndexKey> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(IndexKey{static_cast<TermId>(rng.Uniform(1, 64)),
+                            static_cast<TermId>(rng.Uniform(1, 256)),
+                            static_cast<TermId>(rng.Uniform(1, 1 << 20))});
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Full-range decode through the tagged-varbyte pages vs a plain memcpy of
+// the same keys: the decompression tax per key, to be weighed against the
+// ~3-4x footprint reduction the pages buy.
+void BM_PageDecode(benchmark::State& state) {
+  std::vector<IndexKey> keys = MakeSortedKeys(static_cast<int>(state.range(0)));
+  CompressedKeyIndex idx;
+  idx.Build(keys);
+  CompressedKeyIndex::Scratch scratch;
+  const IndexKey lo{0, 0, 0};
+  const IndexKey hi{kMaxTermId, kMaxTermId, kMaxTermId};
+  std::uint64_t decoded = 0;
+  for (auto _ : state) {
+    idx.ScanRange(lo, hi, scratch, [&](std::span<const IndexKey> run) {
+      benchmark::DoNotOptimize(run.data());
+      decoded += run.size();
+    });
+  }
+  state.counters["keys/s"] = benchmark::Counter(
+      static_cast<double>(decoded), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PageDecode)->Arg(4096)->Arg(65536);
+
+void BM_PageMemcpy(benchmark::State& state) {
+  std::vector<IndexKey> keys = MakeSortedKeys(static_cast<int>(state.range(0)));
+  std::vector<IndexKey> page(kLeafEntries);
+  std::uint64_t decoded = 0;
+  for (auto _ : state) {
+    for (std::size_t begin = 0; begin < keys.size(); begin += kLeafEntries) {
+      const std::size_t n = std::min(kLeafEntries, keys.size() - begin);
+      std::memcpy(page.data(), keys.data() + begin, n * sizeof(IndexKey));
+      benchmark::DoNotOptimize(page.data());
+      decoded += n;
+    }
+  }
+  state.counters["keys/s"] = benchmark::Counter(
+      static_cast<double>(decoded), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PageMemcpy)->Arg(4096)->Arg(65536);
+
+// Range-count seek through the page directory (decode at most two
+// boundary pages) vs equal_range over the uncompressed sorted vector —
+// the operation behind every CountPattern statistics probe.
+void BM_IndexSeek(benchmark::State& state) {
+  std::vector<IndexKey> keys = MakeSortedKeys(static_cast<int>(state.range(0)));
+  CompressedKeyIndex idx;
+  idx.Build(keys);
+  CompressedKeyIndex::Scratch scratch;
+  Rng rng(5);
+  std::vector<TermId> probes(256);
+  for (TermId& p : probes) p = static_cast<TermId>(rng.Uniform(1, 64));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const TermId k1 = probes[i++ & 255];
+    benchmark::DoNotOptimize(idx.CountRange(
+        IndexKey{k1, 0, 0}, IndexKey{k1, kMaxTermId, kMaxTermId}, scratch));
+  }
+}
+BENCHMARK(BM_IndexSeek)->Arg(4096)->Arg(65536);
+
+void BM_VectorLowerBound(benchmark::State& state) {
+  std::vector<IndexKey> keys = MakeSortedKeys(static_cast<int>(state.range(0)));
+  Rng rng(5);
+  std::vector<TermId> probes(256);
+  for (TermId& p : probes) p = static_cast<TermId>(rng.Uniform(1, 64));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const TermId k1 = probes[i++ & 255];
+    auto lo = std::lower_bound(keys.begin(), keys.end(), IndexKey{k1, 0, 0});
+    auto hi = std::upper_bound(
+        lo, keys.end(), IndexKey{k1, kMaxTermId, kMaxTermId});
+    benchmark::DoNotOptimize(hi - lo);
+  }
+}
+BENCHMARK(BM_VectorLowerBound)->Arg(4096)->Arg(65536);
+
+// Ordered-input join: the merge kernel (two forward cursors, no build
+// table) against the hash kernel it supplants when both inputs arrive
+// sorted on the shared variable. Same inputs, bit-identical outputs.
+JoinInputs MakeSortedJoinInputs(int rows, int dup) {
+  Rng rng(71);
+  JoinInputs in;
+  const TermId nkeys = static_cast<TermId>(rows / dup + 1);
+  std::vector<TermId> lk(static_cast<std::size_t>(rows));
+  std::vector<TermId> rk(static_cast<std::size_t>(rows));
+  for (TermId& k : lk) k = static_cast<TermId>(rng.Uniform(1, nkeys));
+  for (TermId& k : rk) k = static_cast<TermId>(rng.Uniform(1, nkeys));
+  std::sort(lk.begin(), lk.end());
+  std::sort(rk.begin(), rk.end());
+  for (int r = 0; r < rows; ++r) {
+    std::vector<TermId> lrow{static_cast<TermId>(r + 1),
+                             lk[static_cast<std::size_t>(r)]};
+    std::vector<TermId> rrow{rk[static_cast<std::size_t>(r)],
+                             static_cast<TermId>(r + 1)};
+    in.left.AppendRow(lrow);
+    in.right.AppendRow(rrow);
+  }
+  in.left.SetSortedBy(1);
+  in.right.SetSortedBy(1);
+  return in;
+}
+
+void BM_MergeJoin(benchmark::State& state) {
+  JoinInputs in = MakeSortedJoinInputs(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    BindingTable out = BatchMergeJoin(in.left, in.right);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+}
+BENCHMARK(BM_MergeJoin)->Arg(4096)->Arg(65536);
+
+void BM_HashJoinProbe(benchmark::State& state) {
+  JoinInputs in = MakeSortedJoinInputs(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    BindingTable out = BatchHashJoin(in.left, in.right);
+    benchmark::DoNotOptimize(out.NumRows());
+  }
+}
+BENCHMARK(BM_HashJoinProbe)->Arg(4096)->Arg(65536);
 
 void BM_BindingTableDeduplicate(benchmark::State& state) {
   Rng rng(9);

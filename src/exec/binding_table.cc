@@ -34,6 +34,7 @@ void BindingTable::BuildColumnIndex() {
 
 void BindingTable::AppendFrom(const BindingTable& src) {
   PARQO_DCHECK(schema_ == src.schema_);
+  sorted_by_ = kInvalidVarId;
   for (std::size_t c = 0; c < cols_.size(); ++c) {
     cols_[c].insert(cols_[c].end(), src.cols_[c].begin(),
                     src.cols_[c].end());
@@ -43,6 +44,7 @@ void BindingTable::AppendFrom(const BindingTable& src) {
 void BindingTable::AppendGather(const BindingTable& src,
                                 const std::uint32_t* rows, std::size_t n) {
   PARQO_DCHECK(schema_ == src.schema_);
+  sorted_by_ = kInvalidVarId;
   for (std::size_t c = 0; c < cols_.size(); ++c) {
     std::vector<TermId>& dst = cols_[c];
     const std::vector<TermId>& from = src.cols_[c];
@@ -104,6 +106,11 @@ BindingTable BindingTable::Project(const std::vector<VarId>& vars) const {
     int c = ColumnOf(vars[i]);
     PARQO_CHECK(c >= 0);
     out.cols_[i] = cols_[c];  // whole-column copy
+  }
+  // Projection keeps row order (dedup is keep-first), so known order
+  // survives when the sorted column itself is kept.
+  if (sorted_by_ != kInvalidVarId && out.ColumnOf(sorted_by_) >= 0) {
+    out.sorted_by_ = sorted_by_;
   }
   out.Deduplicate();
   return out;

@@ -49,9 +49,22 @@ class BindingTable {
     for (std::vector<TermId>& c : cols_) c.reserve(rows);
   }
 
+  /// Ordered-scan metadata: the variable whose column is known to be
+  /// non-decreasing in row order (kInvalidVarId = unknown). Index scans
+  /// set it for the first free key component; the batch join kernels
+  /// propagate it through order-preserving operators and the executor
+  /// consults it to choose merge joins. NOT part of value equality:
+  /// operator== compares schema and rows only, so tables that differ only
+  /// in known order compare equal.
+  VarId sorted_by() const { return sorted_by_; }
+  void SetSortedBy(VarId v) { sorted_by_ = v; }
+
   /// Appends one row; `row` must have num_cols() entries. Cold-path/test
-  /// API: operators append in batches (AppendFrom/AppendGather).
+  /// API: operators append in batches (AppendFrom/AppendGather). Any
+  /// append invalidates sorted-order metadata (appended rows need not
+  /// extend the order).
   void AppendRow(const TermId* row) {
+    sorted_by_ = kInvalidVarId;
     for (std::size_t c = 0; c < cols_.size(); ++c) {
       cols_[c].push_back(row[c]);
     }
@@ -70,6 +83,7 @@ class BindingTable {
   /// Removes duplicate rows (set semantics), keeping the first occurrence
   /// of each row in order — the canonical order downstream golden
   /// comparisons rely on. Hash-based: no row copies, no sorting.
+  /// Keep-first preserves row order, so sorted-by metadata survives.
   void Deduplicate();
 
   /// Rows projected onto `vars` (each must be in the schema),
@@ -90,6 +104,7 @@ class BindingTable {
   std::vector<VarId> schema_;
   std::vector<std::vector<TermId>> cols_;  // cols_[c][r]
   std::vector<int> col_of_;                // VarId -> column index, -1 absent
+  VarId sorted_by_ = kInvalidVarId;        // known row order; not compared
 };
 
 }  // namespace parqo

@@ -318,6 +318,15 @@ BindingTable Executor::Join(const BindingTable& left,
   // Morsel parallelism composes with the per-node ForEachNode fan-out:
   // both run on the same nest-safe pool.
   opts.parallel = parallel_nodes_;
+  // Merge kernel when both inputs arrive sorted on the single shared
+  // variable (index scans establish the order; order-preserving
+  // operators propagate it). Bit-identical to the hash kernel, so
+  // kBatchHash keeps the hash path as an equivalence witness.
+  if (engine_ == ExecEngine::kBatch &&
+      MergeJoinKey(left, right) != kInvalidVarId) {
+    merge_joins_.fetch_add(1, std::memory_order_relaxed);
+    return BatchMergeJoin(left, right, opts);
+  }
   return BatchHashJoin(left, right, opts);
 }
 
@@ -327,6 +336,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
   ExecMetrics local_metrics;
   ExecMetrics& m = metrics != nullptr ? *metrics : local_metrics;
   m = ExecMetrics{};
+  merge_joins_.store(0, std::memory_order_relaxed);
 
   const int n = cluster_.num_nodes();
   m.node_rows_scanned.assign(n, 0);
@@ -371,6 +381,22 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     DistTable table;
     double cost = 0;
   };
+
+  // Opt-in estimated-vs-measured cardinality per operator. Driver-thread
+  // only (eval recursion runs on the driver; workers only fill tables).
+  auto record_card = [&](const PlanNode& node, const DistTable& table,
+                         const char* op) {
+    if (!record_op_cards_) return;
+    BindingTable g(table.schema);
+    for (const BindingTable& t : table.per_node) g.AppendFrom(t);
+    g.Deduplicate();
+    ExecMetrics::OpCardinality oc;
+    oc.op = op;
+    for (int tp : node.tps) oc.tps.push_back(tp);
+    oc.estimated = node.cardinality;
+    oc.actual = g.NumRows();
+    m.op_cards.push_back(std::move(oc));
+  };
   std::function<Status(const PlanNode&, Frame*)> eval =
       [&](const PlanNode& node, Frame* frame) -> Status {
     // The span covers the whole subtree; nested operator spans on the
@@ -384,7 +410,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
       PARQO_RETURN_IF_ERROR(RunPartitioned(
           rec, m, "scan", n, parallel_nodes_, [&](int i) {
             frame->table.per_node[i] =
-                engine_ == ExecEngine::kBatch
+                engine_ != ExecEngine::kRow
                     ? cluster_.node(i).Scan(rp, kDefaultMorselRows,
                                             parallel_nodes_)
                     : cluster_.node(i).Scan(rp);
@@ -394,6 +420,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
         m.rows_scanned += rows;
         m.node_rows_scanned[i] += rows;
       }
+      record_card(node, frame->table, "scan");
       frame->cost = 0;
       return Status::Ok();
     }
@@ -528,6 +555,10 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     for (int i = 0; i < n; ++i) {
       m.node_rows_joined[i] += out.per_node[i].NumRows();
     }
+    record_card(node, out,
+                node.method == JoinMethod::kLocal        ? "local"
+                : node.method == JoinMethod::kBroadcast  ? "broadcast"
+                                                         : "repartition");
 
     double output_card = static_cast<double>(out.GlobalRows());
     double op_cost = cost_model_.JoinOpCost(node.method, input_cards,
@@ -561,6 +592,7 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     return st;
   }
   m.measured_cost = root.cost;
+  m.merge_joins = merge_joins_.load(std::memory_order_relaxed);
 
   // Gather and deduplicate the global result.
   BindingTable result(root.table.schema);
@@ -578,6 +610,9 @@ Result<BindingTable> Executor::Execute(const PlanNode& plan,
     reg.counter("exec.rows_transferred").Add(m.rows_transferred);
     reg.counter("exec.bytes_shipped").Add(m.bytes_shipped);
     reg.counter("exec.distributed_joins").Add(m.distributed_joins);
+    if (m.merge_joins > 0) {
+      reg.counter("exec.merge_joins").Add(m.merge_joins);
+    }
     reg.counter("exec.result_rows").Add(m.result_rows);
     reg.histogram("exec.wall_seconds").Observe(m.wall_seconds);
     reg.histogram("exec.measured_cost").Observe(m.measured_cost);

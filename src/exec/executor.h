@@ -27,6 +27,7 @@
 #ifndef PARQO_EXEC_EXECUTOR_H_
 #define PARQO_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -53,6 +54,26 @@ struct ExecMetrics {
   std::uint64_t distributed_joins = 0;
   std::uint64_t result_rows = 0;  ///< After global deduplication.
   double wall_seconds = 0;
+
+  /// Node-local joins the batch engine ran with the merge kernel instead
+  /// of the hash kernel (both inputs sorted on the single shared
+  /// variable). Purely an implementation-choice counter: outputs are
+  /// bit-identical either way, so engine-equivalence comparisons exclude
+  /// it.
+  std::uint64_t merge_joins = 0;
+
+  /// Per-operator estimated-vs-measured cardinality, recorded only when
+  /// Executor::set_record_op_cardinalities(true) is set (bench/report
+  /// use — it costs one global gather + dedup per operator). `actual` is
+  /// the operator's deduplicated GLOBAL output-row count, the quantity
+  /// the Eq. 10/11 estimator's PlanNode::cardinality predicts.
+  struct OpCardinality {
+    std::string op;        ///< "scan" | "local" | "broadcast" | "repartition"
+    std::vector<int> tps;  ///< Pattern indexes the subtree covers.
+    double estimated = 0;  ///< PlanNode::cardinality at planning time.
+    std::uint64_t actual = 0;
+  };
+  std::vector<OpCardinality> op_cards;
 
   /// Sum of every operator's Eq. 3 cost, ignoring the max over children:
   /// the total work. measured_cost is the critical path, so
@@ -112,11 +133,15 @@ ResolvedPattern BindPattern(const TriplePattern& pattern,
                             const JoinGraph& jg, const Dictionary& dict);
 
 /// Which per-node join/scan implementation Execute() runs. kBatch is the
-/// production path (columnar morsel-driven kernels, exec/join_kernel.h);
-/// kRow is the row-at-a-time reference path (exec/reference_join.h) kept
-/// for golden equivalence testing and before/after benchmarks. Both
-/// produce bit-identical BindingTables (DESIGN.md section 13).
-enum class ExecEngine { kRow, kBatch };
+/// production path (columnar morsel-driven kernels, exec/join_kernel.h)
+/// and picks the merge kernel whenever both inputs are known-sorted on
+/// the single shared variable; kBatchHash is the same batch path with the
+/// merge kernel disabled (hash joins only), kept as an equivalence
+/// witness and for before/after benchmarks; kRow is the row-at-a-time
+/// reference path (exec/reference_join.h) kept for golden equivalence
+/// testing. All three produce bit-identical BindingTables (DESIGN.md
+/// sections 13 and 17).
+enum class ExecEngine { kRow, kBatch, kBatchHash };
 
 class NodeHealthRegistry;  // exec/health.h
 
@@ -141,6 +166,11 @@ class Executor {
   /// metrics are zeroed with `failed` set (never partial sums).
   Result<BindingTable> Execute(const PlanNode& plan, ExecMetrics* metrics);
 
+  /// Records per-operator estimated-vs-measured cardinality into
+  /// ExecMetrics::op_cards. Off by default: it adds one global gather +
+  /// dedup per operator, which benches opt into but queries do not pay.
+  void set_record_op_cardinalities(bool on) { record_op_cards_ = on; }
+
  private:
   struct DistTable;  // per-node tables; defined in the .cc
 
@@ -155,6 +185,11 @@ class Executor {
   RetryPolicy retry_;
   ExecEngine engine_;
   NodeHealthRegistry* health_;
+  bool record_op_cards_ = false;
+  /// Merge-kernel picks this run; workers bump it concurrently, Execute()
+  /// snapshots it into ExecMetrics::merge_joins.
+  // parqo-lint: allow(guarded-field) atomic counter, relaxed order is fine
+  mutable std::atomic<std::uint64_t> merge_joins_{0};
 };
 
 /// Convenience: executes and projects onto the query's SELECT variables.

@@ -13,6 +13,40 @@ struct MatchChunk {
   std::vector<std::uint32_t> build_rows;
 };
 
+// Gathers the matched (probe, build) row pairs into output columns, one
+// gather per column, chunks in morsel order. Shared variables exist on
+// both sides with equal values; prefer the left source like the
+// reference engine (the choice is value-neutral). Shared by the hash and
+// merge kernels, which therefore materialize byte-identically.
+BindingTable MaterializeJoin(const BindingTable& left,
+                             const BindingTable& right, bool build_left,
+                             const std::vector<MatchChunk>& chunks,
+                             BindingTable out) {
+  const std::vector<VarId>& out_schema = out.schema();
+  std::size_t total = 0;
+  for (const MatchChunk& c : chunks) total += c.probe_rows.size();
+  for (int i = 0; i < out.num_cols(); ++i) {
+    int cl = left.ColumnOf(out_schema[i]);
+    const bool use_left = cl >= 0;
+    const std::vector<TermId>& src =
+        use_left ? left.Column(cl)
+                 : right.Column(right.ColumnOf(out_schema[i]));
+    const bool src_is_build = use_left == build_left;
+    std::vector<TermId>& dst = out.MutableColumn(i);
+    dst.resize(total);
+    std::size_t pos = 0;
+    for (const MatchChunk& c : chunks) {
+      const std::vector<std::uint32_t>& idx =
+          src_is_build ? c.build_rows : c.probe_rows;
+      for (std::uint32_t r : idx) dst[pos++] = src[r];
+    }
+  }
+  // Probe-major emit preserves the probe side's known row order.
+  const BindingTable& probe = build_left ? right : left;
+  out.SetSortedBy(probe.sorted_by());
+  return out;
+}
+
 // Cross product, left-row-major: (l0,r0..rN), (l1,r0..rN), ... Only
 // arises inside constant-anchored local queries, so it stays serial.
 BindingTable CrossProduct(const BindingTable& left, const BindingTable& right,
@@ -38,7 +72,14 @@ BindingTable CrossProduct(const BindingTable& left, const BindingTable& right,
       }
     }
   }
+  // Left-row-major: the left side's known order survives (each left row
+  // is repeated contiguously).
+  out.SetSortedBy(left.sorted_by());
   return out;
+}
+
+[[maybe_unused]] bool ColumnIsNonDecreasing(const std::vector<TermId>& col) {
+  return std::is_sorted(col.begin(), col.end());
 }
 
 }  // namespace
@@ -137,28 +178,72 @@ BindingTable BatchHashJoin(const BindingTable& left, const BindingTable& right,
                   });
   }
 
-  // Materialize: one gather per output column, chunks in morsel order.
-  // Shared variables exist on both sides with equal values; prefer the
-  // left source like the reference engine (the choice is value-neutral).
-  std::size_t total = 0;
-  for (const MatchChunk& c : chunks) total += c.probe_rows.size();
-  for (int i = 0; i < out.num_cols(); ++i) {
-    int cl = left.ColumnOf(out_schema[i]);
-    const bool use_left = cl >= 0;
-    const std::vector<TermId>& src =
-        use_left ? left.Column(cl)
-                 : right.Column(right.ColumnOf(out_schema[i]));
-    const bool src_is_build = use_left == build_left;
-    std::vector<TermId>& dst = out.MutableColumn(i);
-    dst.resize(total);
-    std::size_t pos = 0;
-    for (const MatchChunk& c : chunks) {
-      const std::vector<std::uint32_t>& idx =
-          src_is_build ? c.build_rows : c.probe_rows;
-      for (std::uint32_t r : idx) dst[pos++] = src[r];
-    }
+  return MaterializeJoin(left, right, build_left, chunks, std::move(out));
+}
+
+VarId MergeJoinKey(const BindingTable& left, const BindingTable& right) {
+  if (left.NumRows() == 0 || right.NumRows() == 0) return kInvalidVarId;
+  std::vector<VarId> shared = SharedSchema(left.schema(), right.schema());
+  if (shared.size() != 1) return kInvalidVarId;
+  const VarId key = shared[0];
+  if (left.sorted_by() != key || right.sorted_by() != key) {
+    return kInvalidVarId;
   }
-  return out;
+  return key;
+}
+
+BindingTable BatchMergeJoin(const BindingTable& left,
+                            const BindingTable& right,
+                            const BatchJoinOptions& opts) {
+  std::vector<VarId> shared = SharedSchema(left.schema(), right.schema());
+  PARQO_CHECK(shared.size() == 1);
+  BindingTable out(MergeSchemas(left.schema(), right.schema()));
+  if (left.NumRows() == 0 || right.NumRows() == 0) return out;
+
+  // Same side selection as the hash join: build = smaller, ties keep
+  // left; output is probe-row-major.
+  const bool build_left = left.NumRows() <= right.NumRows();
+  const BindingTable& build = build_left ? left : right;
+  const BindingTable& probe = build_left ? right : left;
+  const std::vector<TermId>& bk = build.Column(build.ColumnOf(shared[0]));
+  const std::vector<TermId>& pk = probe.Column(probe.ColumnOf(shared[0]));
+  PARQO_DCHECK(ColumnIsNonDecreasing(bk));
+  PARQO_DCHECK(ColumnIsNonDecreasing(pk));
+
+  const std::size_t probe_rows = probe.NumRows();
+  std::vector<MatchChunk> chunks(NumMorsels(probe_rows, opts.morsel_rows));
+  ForEachMorsel(
+      probe_rows, opts.morsel_rows, opts.parallel,
+      [&](std::size_t m, std::size_t begin, std::size_t end) {
+        MatchChunk& c = chunks[m];
+        // Anchor this morsel's build cursor by binary search; both
+        // cursors then only move forward, so a morsel's matching work is
+        // O(run lengths) and independent of other morsels.
+        std::size_t b_lo = static_cast<std::size_t>(
+            std::lower_bound(bk.begin(), bk.end(), pk[begin]) - bk.begin());
+        std::size_t b_hi = b_lo;
+        TermId run_key = 0;
+        bool have_run = false;
+        for (std::size_t r = begin; r < end; ++r) {
+          const TermId k = pk[r];
+          if (!have_run || k != run_key) {
+            b_lo = b_hi;
+            while (b_lo < bk.size() && bk[b_lo] < k) ++b_lo;
+            b_hi = b_lo;
+            while (b_hi < bk.size() && bk[b_hi] == k) ++b_hi;
+            run_key = k;
+            have_run = true;
+          }
+          // Matching build rows are a contiguous ascending run — exactly
+          // the order the hash-join probe chain yields.
+          for (std::size_t b = b_lo; b < b_hi; ++b) {
+            c.probe_rows.push_back(static_cast<std::uint32_t>(r));
+            c.build_rows.push_back(static_cast<std::uint32_t>(b));
+          }
+        }
+      });
+
+  return MaterializeJoin(left, right, build_left, chunks, std::move(out));
 }
 
 }  // namespace parqo

@@ -161,10 +161,29 @@ struct BatchJoinOptions {
 /// Hash join of two tables on all shared variables (cross product when
 /// none are shared). Build side is the smaller input (ties keep left);
 /// output rows are ordered probe-row-major with build matches ascending,
-/// columns materialized by batch gather.
+/// columns materialized by batch gather. The output inherits the probe
+/// side's sorted-by metadata (probe-major emit preserves probe order).
 BindingTable BatchHashJoin(const BindingTable& left,
                            const BindingTable& right,
                            const BatchJoinOptions& opts = BatchJoinOptions{});
+
+/// The single shared variable both inputs are known-sorted on, or
+/// kInvalidVarId when the merge join does not apply (no/multiple shared
+/// variables, unknown order, or an empty input — the hash join handles
+/// those identically for free).
+VarId MergeJoinKey(const BindingTable& left, const BindingTable& right);
+
+/// Merge join on the single shared variable; both inputs MUST be sorted
+/// on it (MergeJoinKey != kInvalidVarId). Probe/build sides, emit order,
+/// and output columns are chosen exactly like BatchHashJoin — for sorted
+/// inputs the run-scan produces probe-ascending, build-ascending matches,
+/// so the output is BIT-IDENTICAL to the hash join's; only the matching
+/// work (two sorted cursors, no table build, no hashing) differs. Probe
+/// morsels locate their build run by binary search and reduce in morsel
+/// order, so parallel output equals serial output.
+BindingTable BatchMergeJoin(
+    const BindingTable& left, const BindingTable& right,
+    const BatchJoinOptions& opts = BatchJoinOptions{});
 
 }  // namespace parqo
 

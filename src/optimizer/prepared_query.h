@@ -16,6 +16,7 @@
 #include "query/join_graph.h"
 #include "query/query_graph.h"
 #include "rdf/graph.h"
+#include "stats/data_stats.h"
 #include "stats/estimator.h"
 
 namespace parqo {
@@ -26,6 +27,11 @@ using StatsSource = std::function<QueryStatistics(const JoinGraph&)>;
 
 /// A StatsSource computing exact statistics from a dataset.
 StatsSource StatsFromData(const RdfGraph& graph);
+
+/// As above with explicit options (e.g. measured pairwise join
+/// cardinalities for the estimator's refined selectivities).
+StatsSource StatsFromData(const RdfGraph& graph,
+                          const DataStatsOptions& opts);
 
 class PreparedQuery {
  public:

@@ -7,11 +7,14 @@
 #define PARQO_RDF_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
+#include "storage/dataset_index.h"
 
 namespace parqo {
 
@@ -53,6 +56,16 @@ class RdfGraph {
   std::size_t OutDegree(TermId v) const { return OutEdges(v).size(); }
   std::size_t InDegree(TermId v) const { return InEdges(v).size(); }
 
+  /// The dataset-wide storage index (permutations + aggregated counts),
+  /// built lazily on first use — graphs that never consult statistics
+  /// never pay for it — and cached for the graph's lifetime. Thread-safe;
+  /// the returned reference is valid as long as the graph lives.
+  const DatasetIndex& Index() const {
+    std::call_once(*index_once_,
+                   [&] { index_ = std::make_unique<DatasetIndex>(triples_); });
+    return *index_;
+  }
+
  private:
   std::span<const TripleIdx> Slice(const std::vector<std::uint32_t>& offsets,
                                    const std::vector<TripleIdx>& index,
@@ -65,6 +78,10 @@ class RdfGraph {
   Dictionary dict_;
   std::vector<Triple> triples_;
   std::vector<TermId> vertices_;
+  // Heap-held so the graph stays movable (std::once_flag is not).
+  mutable std::unique_ptr<std::once_flag> index_once_ =
+      std::make_unique<std::once_flag>();
+  mutable std::unique_ptr<DatasetIndex> index_;
   // CSR adjacency: offsets indexed directly by TermId.
   std::vector<std::uint32_t> out_offsets_;
   std::vector<TripleIdx> out_index_;

@@ -54,7 +54,8 @@ const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
     double tp_card = stats_.Cardinality(last);
     double denom = 1.0;
     d.bindings = lhs.bindings;
-    for (VarId v : jg_->VarsOf(last)) {
+    const std::vector<VarId>& last_vars = jg_->VarsOf(last);
+    for (VarId v : last_vars) {
       double b_tp = std::min(stats_.Bindings(last, v), tp_card);
       if (lhs.bindings[v] > 0) {
         denom *= std::max(lhs.bindings[v], b_tp);  // shared variable
@@ -63,7 +64,24 @@ const CardinalityEstimator::Derived& CardinalityEstimator::Derive(
         d.bindings[v] = b_tp;
       }
     }
-    d.cardinality = lhs.cardinality * tp_card / denom;
+
+    // Exact-pairwise refinement: a two-pattern subquery IS a measured
+    // pair — when the statistics carry |tp_j JOIN tp_last|, that value is
+    // the true cardinality, not an estimate, so use it directly. Larger
+    // subqueries keep the Eq. 11 fold but now recurse into exact
+    // two-pattern seeds. Deliberately NO multi-pattern selectivity
+    // product: the predicates linking a pattern to the rest of a star or
+    // cycle are strongly correlated, and treating measured pairwise
+    // selectivities as independent drives estimates to the floor, orders
+    // of magnitude under the truth. Without pairwise statistics the
+    // baseline fold is reproduced bit-for-bit.
+    const double pair_exact =
+        stats_.has_pairwise() && rest.Count() == 1
+            ? stats_.JoinCardinality(rest.First(), last)
+            : -1.0;
+    d.cardinality = pair_exact >= 0
+                        ? pair_exact
+                        : lhs.cardinality * tp_card / denom;
     if (d.cardinality < 1.0) d.cardinality = 1.0;
     // Distinct bindings can never exceed the result cardinality.
     for (double& b : d.bindings) b = std::min(b, d.cardinality);

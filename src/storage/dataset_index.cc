@@ -1,0 +1,220 @@
+#include "storage/dataset_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parqo {
+
+DatasetIndex::DatasetIndex(std::span<const Triple> triples)
+    : n_(triples.size()) {
+  std::vector<IndexKey> keys(n_);
+  auto fill_sort = [&](Perm perm) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      keys[i] = PermKey(perm, triples[i]);
+    }
+    std::sort(keys.begin(), keys.end());
+  };
+
+  // One aggregation pass over a sorted permutation: per k1 run the total
+  // count and the number of distinct k2 values (distinct_a), plus one
+  // (k1, k2, run-length) pair entry per distinct (k1, k2) — already in
+  // sorted order, ready for CompressedKeyIndex::Build.
+  auto pass = [&](std::vector<UnaryEntry>* unary,
+                  std::vector<IndexKey>* pairs) {
+    if (unary != nullptr) unary->clear();
+    if (pairs != nullptr) pairs->clear();
+    std::size_t i = 0;
+    while (i < n_) {
+      const TermId k1 = keys[i].k1;
+      UnaryEntry e;
+      e.key = k1;
+      std::size_t j = i;
+      while (j < n_ && keys[j].k1 == k1) {
+        const TermId k2 = keys[j].k2;
+        std::size_t r = j;
+        while (r < n_ && keys[r].k1 == k1 && keys[r].k2 == k2) ++r;
+        ++e.distinct_a;
+        if (pairs != nullptr) {
+          pairs->push_back({k1, k2, static_cast<TermId>(r - j)});
+        }
+        j = r;
+      }
+      e.count = static_cast<std::uint32_t>(j - i);
+      if (unary != nullptr) unary->push_back(e);
+      i = j;
+    }
+  };
+
+  // Re-keys (a, b, count) pair entries to (b, a, count) and writes each
+  // b's pair-run length — the distinct count of a per b — into the
+  // aligned unary table (both sorted by key, same key set).
+  auto fill_distinct_b = [](std::vector<IndexKey>& pairs,
+                            std::vector<UnaryEntry>& unary) {
+    for (IndexKey& k : pairs) std::swap(k.k1, k.k2);
+    std::sort(pairs.begin(), pairs.end());
+    std::size_t i = 0;
+    std::size_t u = 0;
+    while (i < pairs.size()) {
+      const TermId b = pairs[i].k1;
+      std::size_t j = i;
+      while (j < pairs.size() && pairs[j].k1 == b) ++j;
+      while (u < unary.size() && unary[u].key < b) ++u;
+      PARQO_CHECK(u < unary.size() && unary[u].key == b);
+      unary[u].distinct_b = static_cast<std::uint32_t>(j - i);
+      i = j;
+    }
+  };
+
+  std::vector<IndexKey> pairs;
+  std::vector<UnaryEntry> s_unary, p_unary, o_unary;
+
+  fill_sort(Perm::kSpo);
+  spo_.Build(keys);
+  pass(&s_unary, nullptr);  // count + distinct p per s
+
+  fill_sort(Perm::kPso);
+  pso_.Build(keys);
+  pass(&p_unary, &pairs);  // count + distinct s per p
+  ps_counts_.Build(pairs);
+
+  fill_sort(Perm::kPos);
+  pos_.Build(keys);
+  std::vector<UnaryEntry> pos_unary;
+  pass(&pos_unary, &pairs);  // distinct o per p
+  po_counts_.Build(pairs);
+  PARQO_CHECK(pos_unary.size() == p_unary.size());
+  for (std::size_t i = 0; i < p_unary.size(); ++i) {
+    p_unary[i].distinct_b = pos_unary[i].distinct_a;
+  }
+  // (p, o) pairs re-keyed by o give distinct p per o — but the o table
+  // does not exist yet; keep the pair list and fill after the OSP pass.
+  std::vector<IndexKey> po_pairs = std::move(pairs);
+  pairs.clear();
+
+  fill_sort(Perm::kOsp);
+  osp_.Build(keys);
+  pass(&o_unary, &pairs);  // count + distinct s per o
+  os_counts_.Build(pairs);
+  fill_distinct_b(pairs, s_unary);     // (o,s) -> (s,o): distinct o per s
+  fill_distinct_b(po_pairs, o_unary);  // (p,o) -> (o,p): distinct p per o
+
+  s_stats_.Build(s_unary);
+  p_stats_.Build(p_unary);
+  o_stats_.Build(o_unary);
+}
+
+void DatasetIndex::UnaryTable::Build(std::span<const UnaryEntry> sorted) {
+  n_ = sorted.size();
+  data_.clear();
+  dir_.clear();
+  dir_.reserve((n_ + kBlockEntries - 1) / kBlockEntries);
+  for (std::size_t begin = 0; begin < n_; begin += kBlockEntries) {
+    const std::size_t end = std::min(n_, begin + kBlockEntries);
+    dir_.push_back(
+        {sorted[begin].key, static_cast<std::uint32_t>(data_.size())});
+    TermId prev = sorted[begin].key;
+    for (std::size_t i = begin; i < end; ++i) {
+      const UnaryEntry& e = sorted[i];
+      VarbyteEncode(i == begin ? e.key : e.key - prev, data_);
+      VarbyteEncode(e.count, data_);
+      VarbyteEncode(e.distinct_a, data_);
+      VarbyteEncode(e.distinct_b, data_);
+      prev = e.key;
+    }
+  }
+}
+
+DatasetIndex::UnaryStats DatasetIndex::UnaryTable::Find(TermId key) const {
+  auto it = std::upper_bound(
+      dir_.begin(), dir_.end(), key,
+      [](TermId k, const BlockRef& b) { return k < b.first; });
+  if (it == dir_.begin()) return {};
+  const std::size_t block = static_cast<std::size_t>(it - dir_.begin()) - 1;
+  const std::size_t begin = block * kBlockEntries;
+  const std::size_t end = std::min(n_, begin + kBlockEntries);
+  const std::uint8_t* p = data_.data() + dir_[block].offset;
+  TermId k = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    k += VarbyteDecode32(p);
+    const std::uint64_t count = VarbyteDecode(p);
+    const std::uint64_t da = VarbyteDecode(p);
+    const std::uint64_t db = VarbyteDecode(p);
+    if (k == key) return {count, da, db};
+    if (k > key) break;
+  }
+  return {};
+}
+
+DatasetIndex::RangeChoice DatasetIndex::ChooseRange(TermId s, TermId p,
+                                                    TermId o) {
+  const bool bs = s != kInvalidTermId;
+  const bool bp = p != kInvalidTermId;
+  const bool bo = o != kInvalidTermId;
+  RangeChoice rc;
+  if (bp && bs) {
+    rc.perm = Perm::kPso;
+    rc.lo = {p, s, bo ? o : 0};
+    rc.hi = {p, s, bo ? o : kMaxTermId};
+  } else if (bp && bo) {
+    rc.perm = Perm::kPos;
+    rc.lo = {p, o, 0};
+    rc.hi = {p, o, kMaxTermId};
+  } else if (bp) {
+    rc.perm = Perm::kPso;
+    rc.lo = {p, 0, 0};
+    rc.hi = {p, kMaxTermId, kMaxTermId};
+  } else if (bs && bo) {
+    rc.perm = Perm::kOsp;
+    rc.lo = {o, s, 0};
+    rc.hi = {o, s, kMaxTermId};
+  } else if (bs) {
+    rc.perm = Perm::kSpo;
+    rc.lo = {s, 0, 0};
+    rc.hi = {s, kMaxTermId, kMaxTermId};
+  } else if (bo) {
+    rc.perm = Perm::kOsp;
+    rc.lo = {o, 0, 0};
+    rc.hi = {o, kMaxTermId, kMaxTermId};
+  } else {
+    rc.perm = Perm::kSpo;
+    rc.lo = {0, 0, 0};
+    rc.hi = {kMaxTermId, kMaxTermId, kMaxTermId};
+  }
+  return rc;
+}
+
+std::uint64_t DatasetIndex::CountPattern(TermId s, TermId p,
+                                         TermId o) const {
+  const bool bs = s != kInvalidTermId;
+  const bool bp = p != kInvalidTermId;
+  const bool bo = o != kInvalidTermId;
+  if (bp && bs && bo) {
+    CompressedKeyIndex::Scratch scratch;
+    return pso_.CountRange({p, s, o}, {p, s, o}, scratch);
+  }
+  if (bp && bs) return PairCount(ps_counts_, p, s);
+  if (bp && bo) return PairCount(po_counts_, p, o);
+  if (bs && bo) return PairCount(os_counts_, o, s);
+  if (bp) return StatsForP(p).count;
+  if (bs) return StatsForS(s).count;
+  if (bo) return StatsForO(o).count;
+  return n_;
+}
+
+std::uint64_t DatasetIndex::PairCount(const CompressedKeyIndex& pairs,
+                                      TermId a, TermId b) {
+  CompressedKeyIndex::Scratch scratch;
+  std::uint64_t out = 0;
+  pairs.ScanRange({a, b, 0}, {a, b, kMaxTermId}, scratch,
+                  [&](std::span<const IndexKey> run) { out = run[0].k3; });
+  return out;
+}
+
+std::size_t DatasetIndex::ByteSize() const {
+  return spo_.ByteSize() + pso_.ByteSize() + pos_.ByteSize() +
+         osp_.ByteSize() + ps_counts_.ByteSize() + po_counts_.ByteSize() +
+         os_counts_.ByteSize() + s_stats_.ByteSize() +
+         p_stats_.ByteSize() + o_stats_.ByteSize();
+}
+
+}  // namespace parqo

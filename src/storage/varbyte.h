@@ -1,0 +1,44 @@
+// Variable-byte (VByte) codec: little-endian base-128 with a continuation
+// bit per byte, the classic RDF-3X leaf encoding. Values below 128 cost
+// one byte; a full 32-bit value costs at most five, a tagged 64-bit delta
+// (compressed_index.h packs a 2-bit branch tag under the gap) at most ten.
+// Encoder and decoder are paired per page, so the decoder never needs a
+// length check: the page directory bounds every stream it walks.
+
+#ifndef PARQO_STORAGE_VARBYTE_H_
+#define PARQO_STORAGE_VARBYTE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace parqo {
+
+/// Appends `v` to `out` in base-128, low 7 bits first.
+inline void VarbyteEncode(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes one value starting at `p`, advancing `p` past it.
+inline std::uint64_t VarbyteDecode(const std::uint8_t*& p) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    std::uint8_t b = *p++;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// Decodes a value known to fit 32 bits (TermIds and TermId gaps).
+inline std::uint32_t VarbyteDecode32(const std::uint8_t*& p) {
+  return static_cast<std::uint32_t>(VarbyteDecode(p));
+}
+
+}  // namespace parqo
+
+#endif  // PARQO_STORAGE_VARBYTE_H_

@@ -1,8 +1,10 @@
 // Golden equivalence sweep for the vectorized execution path (DESIGN.md
-// section 13): every benchmark query, planned by all seven algorithms and
-// executed serial and parallel, must produce a BindingTable from the
-// batch engine that is BIT-IDENTICAL (schema, rows, row order) to the
-// row-at-a-time reference engine — operator==, not set comparison. The
+// sections 13 and 17): every benchmark query, planned by all seven
+// algorithms and executed serial and parallel, must produce a
+// BindingTable from the batch engine (merge joins enabled) AND from the
+// hash-only batch engine that is BIT-IDENTICAL (schema, rows, row order)
+// to the row-at-a-time reference engine — operator==, not set
+// comparison. The
 // same must hold under seeded fault plans: with identical fault
 // schedules, both engines recover to identical tables or fail with the
 // same typed status, because the fault probe sequence (one BeginNodeOp
@@ -119,14 +121,24 @@ TEST_P(EngineEquivalenceTest, AllAlgorithmsSerialAndParallel) {
       Executor batch(*cluster_, prepared_->join_graph(),
                      options_.cost_params, parallel, RetryPolicy{},
                      ExecEngine::kBatch);
-      ExecMetrics mr, mb;
+      Executor batch_hash(*cluster_, prepared_->join_graph(),
+                          options_.cost_params, parallel, RetryPolicy{},
+                          ExecEngine::kBatchHash);
+      ExecMetrics mr, mb, mh;
       auto rr = row.Execute(*plan, &mr);
       auto rb = batch.Execute(*plan, &mb);
+      auto rh = batch_hash.Execute(*plan, &mh);
       ASSERT_TRUE(rr.ok()) << rr.status().ToString();
       ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+      ASSERT_TRUE(rh.ok()) << rh.status().ToString();
       EXPECT_TRUE(*rr == *rb) << "engines diverge: row " << rr->NumRows()
                               << " rows vs batch " << rb->NumRows();
+      EXPECT_TRUE(*rb == *rh)
+          << "merge joins diverge from hash joins: batch " << rb->NumRows()
+          << " rows vs batch-hash " << rh->NumRows();
       ExpectSameMetrics(mr, mb);
+      ExpectSameMetrics(mb, mh);
+      EXPECT_EQ(mh.merge_joins, 0u);
     }
   }
 }
@@ -155,22 +167,32 @@ TEST_P(EngineEquivalenceTest, FaultSeedsProduceIdenticalOutcomes) {
       FaultScope scope(&fault);
       return exec.Execute(*plan, m);
     };
-    ExecMetrics mr, mb;
+    ExecMetrics mr, mb, mh;
     Result<BindingTable> rr = run(ExecEngine::kRow, &mr);
     Result<BindingTable> rb = run(ExecEngine::kBatch, &mb);
+    Result<BindingTable> rh = run(ExecEngine::kBatchHash, &mh);
     ASSERT_EQ(rr.ok(), rb.ok())
         << "row: " << rr.status().ToString()
         << " batch: " << rb.status().ToString();
+    ASSERT_EQ(rb.ok(), rh.ok())
+        << "batch: " << rb.status().ToString()
+        << " batch-hash: " << rh.status().ToString();
     if (rr.ok()) {
       EXPECT_TRUE(*rr == *rb);
+      EXPECT_TRUE(*rb == *rh);
       ExpectSameMetrics(mr, mb);
+      ExpectSameMetrics(mb, mh);
       EXPECT_EQ(mr.recovery_attempts, mb.recovery_attempts);
       EXPECT_EQ(mr.rows_reshipped, mb.rows_reshipped);
       EXPECT_EQ(mr.degraded_nodes, mb.degraded_nodes);
+      EXPECT_EQ(mb.recovery_attempts, mh.recovery_attempts);
+      EXPECT_EQ(mb.degraded_nodes, mh.degraded_nodes);
     } else {
       EXPECT_EQ(rr.status().code(), rb.status().code());
+      EXPECT_EQ(rb.status().code(), rh.status().code());
       EXPECT_TRUE(mr.failed);
       EXPECT_TRUE(mb.failed);
+      EXPECT_TRUE(mh.failed);
     }
   }
 }

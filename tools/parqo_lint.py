@@ -48,6 +48,20 @@ Four rule families, each guarding an invariant the compiler cannot see:
                         reference_join.cc is the sanctioned row-at-a-time
                         oracle and is exempt. Cold paths carry an allow().
 
+  raw-triple-storage    Raw permutation storage in the execution layer
+                        (src/exec/): a std::vector<Triple> data member —
+                        the pre-storage dual-sorted-vector layout — or any
+                        use of legacy pso_/pos_/spo_/osp_ vector members.
+                        Triples live in storage/DatasetIndex (compressed
+                        clustered permutation indexes, DESIGN.md §17);
+                        scans and counts go through ForEachMatch/
+                        CountPattern so every pattern is answered from the
+                        right permutation's contiguous range instead of a
+                        hand-rolled binary search over a raw vector. A
+                        deliberate raw buffer (test staging, build-time
+                        chunking locals are already exempt by the member
+                        naming convention) carries an allow().
+
   unordered-in-signature
                         Any std::unordered_* container in the BGP
                         canonicalizer (src/server/signature.*). The plan
@@ -201,6 +215,13 @@ METRIC_GLOBAL_RE = re.compile(
     r"u?int\d+_t|std::size_t|size_t)\s+g?_?\w*(?:metric|counter)\w*\s*[={;]"
 )
 UNORDERED_MULTIMAP_RE = re.compile(r"std::unordered_multimap\s*<")
+# A std::vector<Triple> *member* (trailing-underscore naming) — locals and
+# parameters used while building a store do not match — and the legacy
+# permutation-vector member names themselves.
+TRIPLE_VECTOR_MEMBER_RE = re.compile(
+    r"std::vector\s*<\s*Triple\s*>\s+\w+_\s*[;={]"
+)
+PERM_VECTOR_IDENT_RE = re.compile(r"\b(?:pso|pos|spo|osp)_\b")
 APPEND_ROW_CALL_RE = re.compile(r"[.>]\s*AppendRow\s*\(")
 SLEEP_RE = re.compile(
     r"\b(?:sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\("
@@ -451,6 +472,7 @@ class Linter:
         self.check_std_function(rel, code_lines, allowed)
         self.check_shared_plan(rel, code_lines, allowed)
         self.check_exec_row(rel, code_lines, allowed)
+        self.check_raw_triple_storage(rel, code_lines, allowed)
         self.check_metric_writes(rel, code_lines, allowed)
         self.check_naked_sleep(rel, code_lines, allowed)
         self.check_retry_budget(rel, code_lines, allowed)
@@ -564,6 +586,28 @@ class Linter:
                        "batch with AppendFrom/AppendGather (one gather per "
                        "column per morsel), or justify the cold path with "
                        "allow(%s)" % rule)
+            if msg is None or allowed(lineno, rule):
+                continue
+            self.report(rel, lineno, rule, msg)
+
+    def check_raw_triple_storage(self, rel, code_lines, allowed):
+        rule = "raw-triple-storage"
+        if not rel.startswith("src/exec/"):
+            return
+        for lineno, code in enumerate(code_lines, start=1):
+            msg = None
+            if TRIPLE_VECTOR_MEMBER_RE.search(code):
+                msg = ("std::vector<Triple> member in the execution layer: "
+                       "store triples in a storage/DatasetIndex "
+                       "(compressed permutation indexes, "
+                       "src/storage/dataset_index.h) instead of raw sorted "
+                       "vectors, or justify a deliberate buffer with "
+                       "allow(%s)" % rule)
+            elif PERM_VECTOR_IDENT_RE.search(code):
+                msg = ("raw permutation-vector identifier in the execution "
+                       "layer: scans and counts go through "
+                       "DatasetIndex::ForEachMatch/CountPattern, not "
+                       "hand-rolled pso_/pos_ iteration")
             if msg is None or allowed(lineno, rule):
                 continue
             self.report(rel, lineno, rule, msg)

@@ -99,6 +99,32 @@ class ExistingRules(LintHarness):
         self.assert_clean("exec-row-hot-path", src,
                           rel="src/exec/reference_join.cc")
 
+    def test_raw_triple_storage(self):
+        member = ("class NodeStore {\n"
+                  "  std::vector<Triple> pso_;\n"
+                  "};\n")
+        self.assert_fires("raw-triple-storage", member,
+                          rel="src/exec/node_store.h")
+        iteration = ("std::uint64_t F() {\n"
+                     "  std::uint64_t n = 0;\n"
+                     "  for (const Triple& t : pso_) n += t.s;\n"
+                     "  return n;\n"
+                     "}\n")
+        self.assert_fires("raw-triple-storage", iteration,
+                          rel="src/exec/executor.cc")
+        # The storage layer itself owns the permutation members.
+        self.assert_clean("raw-triple-storage", member,
+                          rel="src/storage/dataset_index.h")
+        # Locals/parameters (no trailing underscore) while building a
+        # store are fine, as is an allow()ed deliberate buffer.
+        local = "void Build(std::vector<Triple> triples);\n"
+        self.assert_clean("raw-triple-storage", local,
+                          rel="src/exec/node_store.h")
+        allowed = ("// parqo-lint: allow(raw-triple-storage) test staging\n"
+                   "std::vector<Triple> staged_;\n")
+        self.assert_clean("raw-triple-storage", allowed,
+                          rel="src/exec/node_store.h")
+
     def test_metric_write(self):
         self.assert_fires(
             "metric-write", "static double g_probe_counter = 0;\n",
